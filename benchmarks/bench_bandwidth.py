@@ -1,0 +1,76 @@
+"""Experiment A7 — bandwidth: the cost side of the computability trades.
+
+On one dynamic symmetric network, measure the per-round worst-case
+message size of each algorithm family.  Expected shapes, per the paper's
+discussion:
+
+* gossip and the averaging algorithms (Push-Sum / Metropolis /
+  constant-weight) — bounded messages, flat curves;
+* view exchange (static pipeline) — linear growth in t without the
+  finite-state cap, flat once capped;
+* history trees — unbounded growth ("infinite bandwidth"), the price of
+  exactness without knowledge.
+"""
+
+from conftest import emit
+
+from repro.algorithms.constant_weight import ConstantWeightFrequency
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.minimum_base_alg import SymmetricViewAlgorithm
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.analysis.bandwidth import bandwidth_curve
+from repro.analysis.reporting import render_table
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_symmetric
+from repro.graphs.builders import random_symmetric_connected
+
+INPUTS = [3, 1, 1, 4, 1]
+ROUNDS = 24
+CHECKPOINTS = (4, 12, 24)
+
+
+def curve_for(algorithm, static=False):
+    if static:
+        network = random_symmetric_connected(len(INPUTS), seed=6)
+    else:
+        network = random_dynamic_symmetric(len(INPUTS), seed=6)
+    ex = Execution(algorithm, network, inputs=INPUTS)
+    return bandwidth_curve(ex, ROUNDS)
+
+
+def test_bandwidth_curves(benchmark):
+    curves = {
+        "gossip (set flood)": curve_for(GossipAlgorithm()),
+        "Push-Sum frequencies": curve_for(PushSumFrequencyAlgorithm(mode="frequencies")),
+        "constant-weight 1/N": curve_for(ConstantWeightFrequency(mode="exact", n_bound=7)),
+        "views (unbounded)": curve_for(SymmetricViewAlgorithm(), static=True),
+        "views (finite-state, cap 16)": curve_for(
+            SymmetricViewAlgorithm(max_view_depth=16), static=True
+        ),
+        "history trees": curve_for(HistoryTreeAlgorithm()),
+    }
+    rows = [
+        [name] + [c[t - 1] for t in CHECKPOINTS]
+        for name, c in curves.items()
+    ]
+    emit(render_table(
+        ["algorithm"] + [f"units @ round {t}" for t in CHECKPOINTS],
+        rows,
+        title="A7 — worst-case message size (units) over time",
+    ))
+
+    # Shapes: bounded families stay flat; unbounded views and history
+    # trees keep growing; the depth cap flattens the view curve.
+    for name in ("gossip (set flood)", "Push-Sum frequencies", "constant-weight 1/N"):
+        c = curves[name]
+        assert c[-1] <= 4 * max(c[3], 1), f"{name} should be bounded"
+    assert curves["views (unbounded)"][-1] > 1.5 * curves["views (unbounded)"][7]
+    assert curves["history trees"][-1] > 1.5 * curves["history trees"][7]
+    capped = curves["views (finite-state, cap 16)"]
+    assert capped[-1] == capped[-5], "capped views must plateau"
+    assert capped[-1] < curves["views (unbounded)"][-1]
+
+    benchmark.pedantic(
+        lambda: curve_for(SymmetricViewAlgorithm(), static=True), rounds=3, iterations=1
+    )

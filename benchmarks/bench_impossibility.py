@@ -1,0 +1,42 @@
+"""Experiment A3 — §4.1 ring collapses: the impossibility micro-benchmark.
+
+Verifies (and times) the full collapse diagram ``R_n ← R_p → R_m`` at
+growing sizes: the Lifting-lemma check must hold at every size, with the
+forced-equal outputs certifying that the sum is uncomputable.
+"""
+
+from conftest import emit
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.analysis.impossibility import demonstrate_collapse
+from repro.analysis.reporting import render_table
+
+
+def collapse_at(scale):
+    outcome = demonstrate_collapse(
+        GossipAlgorithm,
+        n=2 * scale,
+        m=4 * scale,
+        base_values=[1, 2],
+        rounds=2 * scale + 4,
+    )
+    assert outcome.lifted
+    return outcome
+
+
+def test_collapse_scaling(benchmark):
+    rows = []
+    for scale in (2, 4, 8, 16):
+        outcome = collapse_at(scale)
+        sums = (3 * 2 * scale // 2, 3 * 4 * scale // 2)
+        rows.append([
+            f"R_{2*scale} ← R_2 → R_{4*scale}",
+            "yes" if outcome.lifted else "NO",
+            f"{sums[0]} vs {sums[1]}",
+        ])
+    emit(render_table(
+        ["collapse diagram", "outputs lift fibrewise", "sum(v) vs sum(w) (forced equal outputs)"],
+        rows,
+        title="A3 — §4.1 impossibility certificates",
+    ))
+    benchmark(lambda: collapse_at(8))

@@ -1,0 +1,124 @@
+"""Experiment Q4 — Metropolis vs Push-Sum on symmetric dynamic networks.
+
+The paper's §5 intro: Metropolis computes the average in symmetric
+networks under outdegree awareness, with *quadratic* convergence when
+every round's graph is connected [10]; Push-Sum carries the worst-case
+``n² D log(1/ε)`` bound of Theorem 5.2.  Two shape checks:
+
+* on well-connected random dynamic graphs both converge quickly and stay
+  within a small constant factor of one another (neither blows up);
+* on the bidirectional path — the classic high-diameter worst case — both
+  algorithms' rounds-to-ε grow superlinearly (quadratic-flavored) in n,
+  matching the quadratic bounds the paper cites.
+"""
+
+from conftest import emit
+
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.reporting import render_table
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_symmetric
+from repro.graphs.builders import path_graph
+
+EPS = 1e-6
+
+
+def rounds_to_eps(algorithm_factory, network, inputs, max_rounds=200000):
+    target = sum(inputs) / len(inputs)
+    ex = Execution(algorithm_factory(), network, inputs=inputs)
+    for t in range(1, max_rounds + 1):
+        ex.step()
+        if max(abs(o - target) for o in ex.outputs()) <= EPS:
+            return t
+    raise AssertionError(f"no convergence within {max_rounds} rounds")
+
+
+def test_random_dynamic_comparison(benchmark):
+    sizes = (4, 8, 12, 16)
+    rows, metro, push = [], [], []
+    for n in sizes:
+        inputs = [float(i % 4) for i in range(n)]
+        tm = rounds_to_eps(MetropolisAlgorithm, random_dynamic_symmetric(n, seed=3), inputs)
+        tp = rounds_to_eps(PushSumAlgorithm, random_dynamic_symmetric(n, seed=3), inputs)
+        metro.append(tm)
+        push.append(tp)
+        rows.append([n, tm, tp, f"{tp / tm:.2f}x"])
+    emit(render_table(
+        ["n", "Metropolis rounds", "Push-Sum rounds", "Push-Sum / Metropolis"],
+        rows,
+        title="Q4a — random connected symmetric dynamic graphs (ε=1e-6)",
+    ))
+    # Neither algorithm blows up relative to the other on easy instances.
+    assert all(tm <= 3 * tp and tp <= 3 * tm for tm, tp in zip(metro, push))
+    benchmark.extra_info["metropolis"] = dict(zip(map(str, sizes), metro))
+    benchmark.extra_info["push_sum"] = dict(zip(map(str, sizes), push))
+    benchmark.pedantic(
+        lambda: rounds_to_eps(
+            MetropolisAlgorithm, random_dynamic_symmetric(8, seed=3),
+            [float(i % 4) for i in range(8)],
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_degree_blind_variant_cost(benchmark):
+    """The paper's remark that the pure-symmetric (no outdegree) variant
+    pays a higher temporal complexity: constant-weight 1/N averaging vs
+    Metropolis on the same symmetric dynamic graphs."""
+    from repro.algorithms.constant_weight import ConstantWeightAveraging
+
+    rows = []
+    for n in (4, 8, 12):
+        inputs = [float(i % 4) for i in range(n)]
+        tm = rounds_to_eps(MetropolisAlgorithm, random_dynamic_symmetric(n, seed=5), inputs)
+        tc = rounds_to_eps(
+            lambda: ConstantWeightAveraging(n + 2), random_dynamic_symmetric(n, seed=5), inputs
+        )
+        rows.append([n, tm, tc, f"{tc / tm:.2f}x"])
+        assert tc >= tm  # degree-blindness never helps
+    emit(render_table(
+        ["n", "Metropolis (outdegree-aware)", "constant-weight 1/N (degree-blind)", "cost"],
+        rows,
+        title="Q4c — the price of dropping outdegree awareness (ε=1e-6)",
+    ))
+    benchmark.pedantic(
+        lambda: rounds_to_eps(
+            lambda: ConstantWeightAveraging(10),
+            random_dynamic_symmetric(8, seed=5),
+            [float(i % 4) for i in range(8)],
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_path_quadratic_growth(benchmark):
+    sizes = (4, 8, 16)
+    rows, metro, push = [], [], []
+    for n in sizes:
+        inputs = [float(i % 2) for i in range(n)]
+        g = path_graph(n)
+        tm = rounds_to_eps(MetropolisAlgorithm, g, inputs)
+        tp = rounds_to_eps(PushSumAlgorithm, g, inputs)
+        metro.append(tm)
+        push.append(tp)
+        rows.append([n, tm, tp])
+    emit(render_table(
+        ["n", "Metropolis rounds", "Push-Sum rounds"],
+        rows,
+        title="Q4b — bidirectional path: quadratic-flavored growth (ε=1e-6)",
+    ))
+    # Quadrupling n (4 -> 16) should multiply rounds by much more than 4
+    # (quadratic predicts ~16x) but stay polynomial (well under ~n³).
+    for series in (metro, push):
+        assert series == sorted(series)
+        growth = series[-1] / series[0]
+        assert growth > 4, f"sub-quadratic-looking growth {growth}"
+        assert growth < 64 * 4, f"super-cubic-looking growth {growth}"
+    benchmark.pedantic(
+        lambda: rounds_to_eps(MetropolisAlgorithm, path_graph(8), [float(i % 2) for i in range(8)]),
+        rounds=3,
+        iterations=1,
+    )

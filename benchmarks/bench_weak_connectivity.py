@@ -1,0 +1,58 @@
+"""Experiment A6 — §6: computing without a finite dynamic diameter.
+
+The concluding remarks ask which results survive when the network is
+never permanently split but has no finite dynamic diameter.  On the
+growing-gap family (connected pulses at perfect squares, silence in
+between) the sweep measures rounds-to-ε for Metropolis (covered by
+Moreau's theorem) and Push-Sum (correct but with Theorem 5.2's rate bound
+void), against the fully-connected-every-round baseline.
+"""
+
+from conftest import emit
+
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.reporting import render_table
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_symmetric
+from repro.dynamics.weak_connectivity import certify_unbounded_diameter, growing_gap_dynamic
+
+EPS = 1e-6
+N = 5
+INPUTS = [3.0, 1.0, 4.0, 1.0, 5.0]
+TARGET = sum(INPUTS) / N
+
+
+def rounds_to_eps(algorithm_factory, network, max_rounds=50000):
+    ex = Execution(algorithm_factory(), network, inputs=INPUTS)
+    for t in range(1, max_rounds + 1):
+        ex.step()
+        if max(abs(o - TARGET) for o in ex.outputs()) <= EPS:
+            return t
+    raise AssertionError("no convergence")
+
+
+def test_weak_connectivity_sweep(benchmark):
+    gaps = growing_gap_dynamic(N, seed=4)
+    windows = certify_unbounded_diameter(gaps, starts=[3, 9, 33, 65, 150], cap=512)
+    assert windows is not None and windows[-1] > 2 * windows[0], "gaps must grow"
+
+    rows = []
+    for name, factory in (("Metropolis", MetropolisAlgorithm), ("Push-Sum", PushSumAlgorithm)):
+        t_base = rounds_to_eps(factory, random_dynamic_symmetric(N, seed=4))
+        t_gaps = rounds_to_eps(factory, growing_gap_dynamic(N, seed=4))
+        rows.append([name, t_base, t_gaps, f"{t_gaps / t_base:.1f}x"])
+        # Shape: still converges (§6's positive expectation), but pays for
+        # the silence — never faster than the connected baseline.
+        assert t_gaps >= t_base
+    emit(render_table(
+        ["algorithm", "connected-every-round", "growing gaps (D = ∞)", "slowdown"],
+        rows,
+        title="A6 — §6: averaging without a finite dynamic diameter",
+    ))
+    emit(f"windows-to-completeness from rounds 3/9/33/65/150: {windows} (unbounded growth)")
+    benchmark.pedantic(
+        lambda: rounds_to_eps(MetropolisAlgorithm, growing_gap_dynamic(N, seed=4)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,17 @@
+"""Benchmark-harness helpers.
+
+Every benchmark prints the paper-shaped table/series it regenerates (so
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduction next to
+the timings) and asserts the qualitative *shape* the paper reports — who
+wins, what grows with what — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a reproduction artifact so it survives output capture."""
+    sys.stderr.write("\n" + text + "\n")
+    sys.stderr.flush()

@@ -1,0 +1,68 @@
+"""Seeing the Lifting lemma fool an algorithm, live.
+
+The paper's impossibility proofs (§4.1) are constructive enough to run:
+collapse the ring ``R_8`` onto ``R_4`` by a fibration, run the *same*
+anonymous algorithm on both, and watch every round of the big execution
+be a fibrewise copy of the small one.  The consequence is physical: the
+agents of ``R_8`` can never learn they are 8 rather than 4, so no
+algorithm computes the sum — it differs across the two rings while the
+outputs are forced equal.
+
+The second act plays the same trick against *simple broadcast*: two
+networks of different value frequencies share a minimum base, so even
+the average is out of reach without outdegree awareness — the exact
+separation in Tables 1 and 2.
+
+Run:  python examples/impossibility_demo.py
+"""
+
+from repro import (
+    Execution,
+    GossipAlgorithm,
+    PushSumAlgorithm,
+    demonstrate_collapse,
+    fibres,
+    minimum_base,
+    ring_collapse,
+    verify_lifting_on_outputs,
+)
+from repro.analysis.impossibility import two_fibre_cover
+from repro.functions.frequency import frequencies_of
+
+
+def act_one() -> None:
+    print("=== Act 1: the ring collapse R_8 → R_4 ===")
+    phi = ring_collapse(8, 4, base_values=[1, 5, 1, 5])
+    print(f"fibration fibres: {fibres(phi)}")
+    ok = verify_lifting_on_outputs(phi, PushSumAlgorithm, [1.0, 5.0, 1.0, 5.0], rounds=20)
+    print(f"outputs of R_8 track R_4 fibrewise for 20 rounds: {ok}")
+
+    outcome = demonstrate_collapse(
+        PushSumAlgorithm, n=8, m=16, base_values=[1.0, 5.0, 1.0, 5.0], rounds=300
+    )
+    print(f"Push-Sum on R_8 outputs  {outcome.outputs_big[0]:.6f}")
+    print(f"Push-Sum on R_16 outputs {outcome.outputs_other[0]:.6f}  (forced equal)")
+    print(f"but sum(R_8 inputs) = {6 * 4} and sum(R_16 inputs) = {6 * 8}")
+    print("=> no anonymous algorithm computes the sum.\n")
+
+
+def act_two() -> None:
+    print("=== Act 2: broadcast cannot even average ===")
+    g1 = two_fibre_cover(1, 2)  # frequencies (1/3, 2/3)
+    g2 = two_fibre_cover(1, 3)  # frequencies (1/4, 3/4)
+    print(f"cover A: n={g1.n}, frequencies {dict(frequencies_of(g1.values).items())}")
+    print(f"cover B: n={g2.n}, frequencies {dict(frequencies_of(g2.values).items())}")
+    b1, b2 = minimum_base(g1), minimum_base(g2)
+    print(f"shared minimum base sizes: {b1.base.n} and {b2.base.n} (isomorphic)")
+    for g, mb in ((g1, b1), (g2, b2)):
+        ok = verify_lifting_on_outputs(
+            mb.fibration, GossipAlgorithm, list(mb.base.values), rounds=12
+        )
+        print(f"  broadcast execution on n={g.n} tracks the base: {ok}")
+    print("=> under simple broadcast the two networks are indistinguishable,")
+    print("   yet their averages differ: only set-based functions survive.")
+
+
+if __name__ == "__main__":
+    act_one()
+    act_two()

@@ -1,0 +1,54 @@
+"""Wireless sensor field: averaging over a changing network, ragged starts.
+
+The paper's motivating scenario (§1): a field of anonymous temperature
+sensors whose radio links change every round, waking up at different
+times.  Push-Sum (Theorem 5.2) computes the average asymptotically under
+outdegree awareness; with a known bound N on the fleet size, Algorithm 1
+plus ℚ_N-rounding (Corollary 5.3) turns the estimates into the *exact*
+value-frequency table in finite time.
+
+Run:  python examples/sensor_average.py
+"""
+
+from repro import (
+    AsynchronousStartGraph,
+    Execution,
+    PushSumAlgorithm,
+    PushSumFrequencyAlgorithm,
+    random_dynamic_strongly_connected,
+    run_until_asymptotic,
+    run_until_stable,
+)
+
+
+def main() -> None:
+    temperatures = [19.0, 23.0, 21.0, 23.0, 19.0, 19.0, 23.0]
+    n = len(temperatures)
+    target = sum(temperatures) / n
+
+    # Radio links are directed (asymmetric transmit power) and change
+    # every round; each sensor wakes up somewhere in the first 5 rounds.
+    links = random_dynamic_strongly_connected(n, seed=2024)
+    wakeups = [1, 4, 2, 5, 3, 1, 2]
+    network = AsynchronousStartGraph(links, wakeups)
+
+    print("— Phase 1: asymptotic average via Push-Sum —")
+    execution = Execution(PushSumAlgorithm(), network, inputs=temperatures)
+    report = run_until_asymptotic(execution, 2000, tolerance=1e-6, target=target)
+    print(f"true average {target:.4f}; converged={report.converged} "
+          f"after {report.rounds_run} rounds; estimates e.g. {report.outputs[0]:.6f}")
+
+    print("\n— Phase 2: exact readings census with a fleet bound N = 10 —")
+    census = PushSumFrequencyAlgorithm(mode="exact", n_bound=10)
+    execution = Execution(census, network, inputs=[int(t) for t in temperatures])
+    report = run_until_stable(execution, 2000, patience=10)
+    print(f"exact frequency table: {report.value}")
+    print(f"stabilized at round {report.stabilization_round}")
+
+    assert report.converged
+    print("\nEvery sensor knows the exact fraction of each reading — "
+          "despite anonymity, churn, and ragged wake-ups.")
+
+
+if __name__ == "__main__":
+    main()

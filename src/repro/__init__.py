@@ -1,0 +1,199 @@
+"""repro — computability in anonymous networks.
+
+A complete, executable reproduction of *Know your audience: Communication
+model and computability in anonymous networks* (Charron-Bost &
+Lambein-Monette, PODC 2024 brief announcement): a synchronous round
+simulator for anonymous message-passing networks under four communication
+models, the graph-fibration machinery behind the paper's
+characterizations, the full static pipeline (distributed minimum base +
+fibre-cardinality solvers), the dynamic pipeline (Push-Sum, Metropolis,
+history-tree counting), and experiment harnesses regenerating the paper's
+Tables 1 and 2.
+
+Quickstart::
+
+    from repro import (
+        Execution, StaticFunctionAlgorithm, run_until_stable,
+        random_symmetric_connected, AVERAGE, CommunicationModel,
+    )
+
+    graph = random_symmetric_connected(8, seed=1)
+    algorithm = StaticFunctionAlgorithm(AVERAGE, CommunicationModel.SYMMETRIC)
+    execution = Execution(algorithm, graph, inputs=[3, 1, 4, 1, 5, 9, 2, 6])
+    report = run_until_stable(execution, max_rounds=60)
+    assert report.converged  # every agent holds the exact average
+"""
+
+from repro.core import (
+    Algorithm,
+    BroadcastAlgorithm,
+    CellCharacterization,
+    CommunicationModel,
+    ConvergenceReport,
+    Execution,
+    Knowledge,
+    NetworkClassSpec,
+    OutdegreeAlgorithm,
+    OutputPortAlgorithm,
+    computable_class,
+    discrete_metric,
+    euclidean_metric,
+    run_until_asymptotic,
+    run_until_stable,
+    table1,
+    table2,
+)
+from repro.graphs import (
+    DiGraph,
+    bidirectional_ring,
+    complete_graph,
+    de_bruijn_graph,
+    diameter,
+    directed_ring,
+    hypercube,
+    is_strongly_connected,
+    is_symmetric,
+    random_strongly_connected,
+    random_symmetric_connected,
+    star_graph,
+    torus,
+)
+from repro.fibrations import (
+    GraphMorphism,
+    MinimumBase,
+    fibres,
+    is_covering,
+    is_fibration,
+    is_fibration_prime,
+    minimum_base,
+    ring_collapse,
+)
+from repro.functions import (
+    AVERAGE,
+    MAXIMUM,
+    MINIMUM,
+    SIZE,
+    SUM,
+    FrequencyFunction,
+    FunctionClass,
+    NamedFunction,
+    frequencies_of,
+    frequency_of,
+    threshold_predicate,
+)
+from repro.dynamics import (
+    AsynchronousStartGraph,
+    DynamicGraph,
+    StaticAsDynamic,
+    certify_unbounded_diameter,
+    dynamic_diameter,
+    eventually_split_dynamic,
+    growing_gap_dynamic,
+    random_dynamic_strongly_connected,
+    random_dynamic_symmetric,
+    random_matching_dynamic,
+    sparse_pulsed_dynamic,
+)
+from repro.algorithms import (
+    ConstantWeightAveraging,
+    GossipAlgorithm,
+    HistoryTreeAlgorithm,
+    MetropolisAlgorithm,
+    PushSumAlgorithm,
+    VectorPushSumAlgorithm,
+    PushSumFrequencyAlgorithm,
+    StaticFunctionAlgorithm,
+    known_size_algorithm,
+    leader_algorithm,
+    nearest_rational,
+)
+from repro.analysis import (
+    demonstrate_collapse,
+    frequency_counterexample,
+    render_table,
+    reproduce_table1,
+    reproduce_table2,
+    verify_lifting_on_outputs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AVERAGE",
+    "Algorithm",
+    "AsynchronousStartGraph",
+    "BroadcastAlgorithm",
+    "CellCharacterization",
+    "CommunicationModel",
+    "ConstantWeightAveraging",
+    "ConvergenceReport",
+    "DiGraph",
+    "DynamicGraph",
+    "Execution",
+    "FrequencyFunction",
+    "FunctionClass",
+    "GossipAlgorithm",
+    "GraphMorphism",
+    "HistoryTreeAlgorithm",
+    "Knowledge",
+    "MAXIMUM",
+    "MINIMUM",
+    "MetropolisAlgorithm",
+    "MinimumBase",
+    "NamedFunction",
+    "NetworkClassSpec",
+    "OutdegreeAlgorithm",
+    "OutputPortAlgorithm",
+    "PushSumAlgorithm",
+    "PushSumFrequencyAlgorithm",
+    "VectorPushSumAlgorithm",
+    "SIZE",
+    "SUM",
+    "StaticAsDynamic",
+    "StaticFunctionAlgorithm",
+    "bidirectional_ring",
+    "certify_unbounded_diameter",
+    "complete_graph",
+    "computable_class",
+    "de_bruijn_graph",
+    "demonstrate_collapse",
+    "diameter",
+    "directed_ring",
+    "discrete_metric",
+    "dynamic_diameter",
+    "euclidean_metric",
+    "eventually_split_dynamic",
+    "fibres",
+    "frequencies_of",
+    "frequency_counterexample",
+    "frequency_of",
+    "growing_gap_dynamic",
+    "hypercube",
+    "is_covering",
+    "is_fibration",
+    "is_fibration_prime",
+    "is_strongly_connected",
+    "is_symmetric",
+    "known_size_algorithm",
+    "leader_algorithm",
+    "minimum_base",
+    "nearest_rational",
+    "random_dynamic_strongly_connected",
+    "random_matching_dynamic",
+    "random_dynamic_symmetric",
+    "random_strongly_connected",
+    "random_symmetric_connected",
+    "render_table",
+    "reproduce_table1",
+    "reproduce_table2",
+    "ring_collapse",
+    "run_until_asymptotic",
+    "run_until_stable",
+    "sparse_pulsed_dynamic",
+    "star_graph",
+    "table1",
+    "table2",
+    "threshold_predicate",
+    "torus",
+    "verify_lifting_on_outputs",
+]

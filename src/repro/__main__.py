@@ -1,0 +1,65 @@
+"""``python -m repro`` — reproduce the paper's tables from the command line.
+
+Usage::
+
+    python -m repro                 # both tables, default sizes
+    python -m repro --table 1       # just Table 1
+    python -m repro --n 8 --seed 3  # different network size / randomness
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.tables import format_results, reproduce_table1, reproduce_table2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce Tables 1 and 2 of 'Know your audience' "
+            "(Charron-Bost & Lambein-Monette, PODC 2024) by running the "
+            "paper's algorithms and impossibility certificates."
+        ),
+    )
+    parser.add_argument("--table", choices=["1", "2", "both"], default="both")
+    parser.add_argument("--n", type=int, default=6, help="network size for the probes")
+    parser.add_argument("--seed", type=int, default=0, help="random-graph seed")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable reproduction certificate instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json:
+        from repro.analysis.certificate import reproduction_certificate
+
+        doc = reproduction_certificate(n=args.n, seed=args.seed)
+        print(json.dumps(doc, indent=2))
+        return 0 if doc["summary"]["verdict"] == "PASS" else 1
+
+    failures = 0
+    if args.table in ("1", "both"):
+        results = reproduce_table1(n=args.n, seed=args.seed)
+        print(format_results(results, "Table 1 — static strongly connected networks"))
+        failures += sum(not r.consistent for r in results)
+        print()
+    if args.table in ("2", "both"):
+        results = reproduce_table2(n=min(args.n, 6), seed=args.seed)
+        print(format_results(results, "Table 2 — dynamic networks with finite dynamic diameter"))
+        failures += sum(not r.consistent for r in results)
+        print()
+
+    if failures:
+        print(f"{failures} cell(s) disagree with the paper", file=sys.stderr)
+        return 1
+    print("every cell agrees with the paper ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's algorithms.
+
+Static pipeline (Section 4): :mod:`.gossip` (set flooding, simple
+broadcast), :mod:`.minimum_base_alg` (distributed Boldi–Vigna view/base
+construction), :mod:`.fibre_solver` (eqs. (1), (3), (4)),
+:mod:`.frequency_static` and :mod:`.multiset_static` (Theorem 4.1 and
+Corollaries 4.2–4.4).
+
+Dynamic pipeline (Section 5): :mod:`.push_sum` (Theorem 5.2),
+:mod:`.push_sum_frequency` (Algorithm 1, Corollaries 5.3–5.5),
+:mod:`.metropolis` (Metropolis / Lazy Metropolis averaging),
+:mod:`.rational` (nearest rational in ℚ_N), :mod:`.history_tree`
+(Di Luna–Viglietta-style exact counting for symmetric dynamic networks).
+"""
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm, VectorPushSumAlgorithm
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.algorithms.constant_weight import ConstantWeightAveraging, ConstantWeightFrequency
+from repro.algorithms.rational import nearest_rational
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.algorithms.minimum_base_alg import (
+    DistributedMinimumBase,
+    OutdegreeViewAlgorithm,
+    PortViewAlgorithm,
+    SymmetricViewAlgorithm,
+    extract_base,
+)
+from repro.algorithms.fibre_solver import (
+    fibre_ratios_outdegree,
+    fibre_ratios_ports,
+    fibre_ratios_symmetric,
+)
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.multiset_static import (
+    known_size_algorithm,
+    leader_algorithm,
+)
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+
+__all__ = [
+    "ConstantWeightAveraging",
+    "ConstantWeightFrequency",
+    "DistributedMinimumBase",
+    "GossipAlgorithm",
+    "HistoryTreeAlgorithm",
+    "MetropolisAlgorithm",
+    "OutdegreeViewAlgorithm",
+    "PortViewAlgorithm",
+    "PushSumAlgorithm",
+    "PushSumFrequencyAlgorithm",
+    "StaticFunctionAlgorithm",
+    "SymmetricViewAlgorithm",
+    "VectorPushSumAlgorithm",
+    "extract_base",
+    "fibre_ratios_outdegree",
+    "fibre_ratios_ports",
+    "fibre_ratios_symmetric",
+    "known_size_algorithm",
+    "leader_algorithm",
+    "nearest_rational",
+]

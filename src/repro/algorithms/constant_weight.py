@@ -1,0 +1,156 @@
+"""Average consensus in the *pure* symmetric model (no outdegree awareness).
+
+Table 2 credits CB & LM [11] with frequency-based computation under
+symmetric communications when a bound on ``n`` is known, *without*
+outdegree awareness — in a dynamic network an agent cannot know its
+current degree at send time, so Metropolis weights are unavailable.
+
+The classic constant-weight scheme sidesteps degrees entirely: with a
+known bound ``N > max degree``, every agent moves toward each received
+estimate with the same weight ``1/N``:
+
+    ``x_i(t) = x_i(t-1) + (1/N) Σ_{j ∈ neighbors} (x_j(t-1) - x_i(t-1))``.
+
+The update matrix ``I - L(t)/N`` (``L`` the graph Laplacian) is symmetric
+and doubly stochastic whenever ``N`` exceeds the degrees, so the average
+is conserved and, with recurrent connectivity (Moreau's condition —
+satisfied in particular by a finite dynamic diameter), all estimates
+converge to it.  The price of degree-blindness is slower mixing: the
+uniform ``1/N`` weight is pessimistic exactly where Metropolis adapts —
+the paper's remark that the no-outdegree variant pays a higher
+``O(n⁴)``-type temporal complexity.
+
+The sending function depends on the state alone (a true broadcast
+algorithm run in the symmetric network class), and the own-message copy
+arriving through the self-loop contributes ``(x_i - x_i) = 0``, so no
+self-identification is needed at all.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.core.agent import BroadcastAlgorithm
+from repro.core.models import CommunicationModel
+
+State = Tuple[float]
+
+
+class ConstantWeightAveraging(BroadcastAlgorithm):
+    """Degree-blind average consensus for symmetric networks.
+
+    ``n_bound`` must exceed every degree the dynamic graph can exhibit;
+    a bound on the network size always qualifies (degrees are < n).
+    """
+
+    model = CommunicationModel.SYMMETRIC
+
+    def __init__(self, n_bound: int):
+        if n_bound < 2:
+            raise ValueError("n_bound must be >= 2")
+        self.n_bound = n_bound
+
+    def initial_state(self, input_value: Union[float, int]) -> State:
+        return (float(input_value),)
+
+    def message(self, state: State) -> float:
+        return state[0]
+
+    def transition(self, state: State, received: Tuple[float, ...]) -> State:
+        x = state[0]
+        # Every received estimate (own copy included — its term vanishes)
+        # pulls with the same weight 1/N.
+        new_x = x + sum(xj - x for xj in received) / self.n_bound
+        return (new_x,)
+
+    def output(self, state: State) -> float:
+        return state[0]
+
+
+class ConstantWeightFrequency(BroadcastAlgorithm):
+    """Frequencies (or the multiset) in the pure symmetric model — CB & LM [11].
+
+    One constant-weight averaging instance runs per value ω over the
+    indicator vector ``1[v_i = ω]``, whose average is exactly the
+    frequency ``ν_v(ω)``.  An agent that has never heard of ω implicitly
+    holds estimate 0 — correct from the start, so unlike Push-Sum there
+    is no joining bookkeeping at all, and the per-value mass
+    ``Σ_i x_i[ω]`` is conserved exactly by the doubly stochastic updates.
+
+    * ``mode="exact"`` (needs ``n_bound``): estimates rounded to the
+      nearest rational of ``ℚ_N`` — exact frequencies in finite time,
+      Table 2's (symmetric, bound known) cell;
+    * ``mode="multiset"`` (needs ``n``): multiplicities ``round(n·x)`` —
+      Table 2's (symmetric, n known) cell.
+    """
+
+    model = CommunicationModel.SYMMETRIC
+
+    def __init__(
+        self,
+        mode: str = "exact",
+        n_bound: "int | None" = None,
+        n: "int | None" = None,
+        f=None,
+    ):
+        if mode not in ("exact", "multiset", "frequencies"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "exact" and n_bound is None:
+            raise ValueError("exact mode needs n_bound")
+        if mode == "multiset" and n is None:
+            raise ValueError("multiset mode needs n")
+        self.mode = mode
+        self.n_bound = n_bound if n_bound is not None else (n if n is not None else 2)
+        self.n = n
+        self.f = f
+
+    def initial_state(self, input_value):
+        return {input_value: 1.0}
+
+    def message(self, state):
+        return state
+
+    def transition(self, state, received):
+        support = set(state)
+        for table in received:
+            support.update(table)
+        new = {}
+        for w in support:
+            x = state.get(w, 0.0)
+            new[w] = x + sum(table.get(w, 0.0) - x for table in received) / self.n_bound
+        return new
+
+    def output(self, state):
+        from fractions import Fraction
+
+        from repro.algorithms.rational import nearest_frequency
+        from repro.functions.frequency import FrequencyFunction
+
+        if self.mode == "frequencies":
+            total = sum(state.values())
+            if total <= 0:
+                return None
+            normalized = {
+                w: x / total for w, x in sorted(state.items(), key=lambda kv: repr(kv[0]))
+            }
+            return self.f(normalized) if self.f else normalized
+        if self.mode == "exact":
+            rounded = {
+                w: nearest_frequency(x, self.n_bound) for w, x in state.items()
+            }
+            if sum(rounded.values(), Fraction(0)) != 1:
+                return None
+            nu = FrequencyFunction(rounded)
+            return self.f(nu.canonical_vector()) if self.f else nu
+        mults = {}
+        for w, x in sorted(state.items(), key=lambda kv: repr(kv[0])):
+            m = round(self.n * x)
+            if m < 0:
+                return None
+            if m > 0:
+                mults[w] = m
+        if not mults:
+            return None
+        if self.f:
+            return self.f([w for w, m in mults.items() for _ in range(m)])
+        return mults

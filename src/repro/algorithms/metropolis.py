@@ -1,0 +1,70 @@
+"""Metropolis averaging in symmetric dynamic networks (Section 5 intro).
+
+Each round, every agent broadcasts ``(x, deg)`` — its current estimate and
+its number of neighbors this round (available ahead of sending thanks to
+outdegree awareness; in a symmetric network outdegree = indegree = degree).
+On receipt it moves toward each neighbor with the Metropolis weight
+``1 / (1 + max(deg_i, deg_j))``; the resulting update matrix is doubly
+stochastic and symmetric, so the average is invariant and, with a finite
+dynamic diameter, all estimates converge to it.  Quadratic convergence
+holds when every round's graph is connected [10]; the Lazy variant
+(halved off-diagonal weights) extends the guarantee to networks that are
+only connected over windows [30, 31].
+
+Asynchronous starts are tolerated (a sleeping agent is an isolated vertex
+whose estimate stays put); arbitrary initialization is not (the invariant
+is the running average).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.core.agent import OutdegreeAlgorithm
+
+State = Tuple[float]
+Message = Tuple[float, int]
+
+
+class MetropolisAlgorithm(OutdegreeAlgorithm):
+    """Metropolis (or Lazy Metropolis) average consensus.
+
+    Must be run on *symmetric* networks — the weight rule is only doubly
+    stochastic there.  The executor cannot check this for the outdegree-
+    aware model, so harnesses are responsible for the network class (tests
+    cover the guarantee on symmetric graphs only).
+    """
+
+    def __init__(self, lazy: bool = False):
+        self.lazy = lazy
+
+    def initial_state(self, input_value: Union[float, int]) -> State:
+        return (float(input_value),)
+
+    def message(self, state: State, outdegree: int) -> Message:
+        # outdegree counts the self-loop; neighbors = outdegree - 1.
+        return (state[0], outdegree - 1)
+
+    def transition(self, state: State, received: Tuple[Message, ...]) -> State:
+        x = state[0]
+        # In a symmetric network the indegree equals the outdegree, so the
+        # inbox size (self-loop included) reveals this round's degree.
+        my_deg = len(received) - 1
+        inbox: List[Message] = list(received)
+        # Our own message arrived through the self-loop and reads exactly
+        # (x, my_deg); remove one copy.  If a neighbor sent an identical
+        # pair, removing theirs instead is harmless — its contribution to
+        # the update would be weight · (x - x) = 0.
+        try:
+            inbox.remove((x, my_deg))
+        except ValueError:
+            pass  # arbitrary initialization; treat everything as neighbors
+        scale = 2.0 if self.lazy else 1.0
+        new_x = x
+        for (xj, degj) in inbox:
+            weight = 1.0 / (scale * (1.0 + max(my_deg, degj)))
+            new_x += weight * (xj - x)
+        return (new_x,)
+
+    def output(self, state: State) -> float:
+        return state[0]

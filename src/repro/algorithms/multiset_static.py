@@ -1,0 +1,47 @@
+"""Multiset recovery in static networks (Corollaries 4.3 and 4.4).
+
+Thin, intention-revealing wrappers over
+:func:`~repro.algorithms.frequency_static.StaticFunctionAlgorithm`: when
+the network size is known, or when leaders break the symmetry, the fibre
+ratios of Theorem 4.1 upgrade to exact multiplicities and every
+multiset-based (i.e. symmetric) function becomes computable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.models import CommunicationModel
+from repro.core.network_class import Knowledge
+from repro.graphs.views import ViewBuilder
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+
+
+def known_size_algorithm(
+    f: Callable[[List[Any]], Any],
+    model: CommunicationModel,
+    n: int,
+    builder: Optional[ViewBuilder] = None,
+):
+    """Corollary 4.3: with ``n`` known, compute any multiset-based ``f``."""
+    return StaticFunctionAlgorithm(
+        f, model, knowledge=Knowledge.EXACT_N, n=n, builder=builder
+    )
+
+
+def leader_algorithm(
+    f: Callable[[List[Any]], Any],
+    model: CommunicationModel,
+    leader_count: int = 1,
+    builder: Optional[ViewBuilder] = None,
+):
+    """Corollary 4.4 / eq. (5): with ℓ known leaders, compute any
+    multiset-based ``f``.  Inputs must be ``(value, is_leader)`` pairs with
+    exactly ``leader_count`` leaders."""
+    return StaticFunctionAlgorithm(
+        f,
+        model,
+        knowledge=Knowledge.LEADER,
+        leader_count=leader_count,
+        builder=builder,
+    )

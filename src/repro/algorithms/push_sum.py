@@ -1,0 +1,88 @@
+"""The Push-Sum algorithm (Section 5.1–5.3, Theorem 5.2).
+
+Each agent maintains ``y`` and ``z``, initialized to its input pair
+``(v, w)`` with ``w > 0``; every round it splits both equally over its
+out-edges (self-loop included — no mass is ever lost, which is what makes
+the update matrix column-stochastic), sums what it receives, and outputs
+``x = y / z``.  In any dynamic network with finite dynamic diameter ``D``
+all outputs converge to the quot-sum ``(Σ v_k)/(Σ w_k)``, within ε in
+``O(n² D log(1/ε))`` rounds; with ``w ≡ 1`` this is the average.
+
+Push-Sum needs outdegree awareness (the sender divides by ``d⁻``), uses no
+persistent memory beyond ``(y, z)``, tolerates asynchronous starts, but is
+not self-stabilizing (the invariant ``Σ y`` = ``Σ v`` lives in the
+initialization).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.core.agent import OutdegreeAlgorithm
+
+State = Tuple[float, float]
+Message = Tuple[float, float]
+
+
+class PushSumAlgorithm(OutdegreeAlgorithm):
+    """Push-Sum for the quot-sum; inputs are ``v`` or ``(v, w)`` pairs.
+
+    A bare numeric input ``v`` is treated as ``(v, 1)``, so the default
+    instance computes the average of the inputs.
+    """
+
+    def initial_state(self, input_value: Union[float, Tuple[float, float]]) -> State:
+        if isinstance(input_value, tuple):
+            v, w = input_value
+        else:
+            v, w = float(input_value), 1.0
+        if w <= 0:
+            raise ValueError(f"push-sum weight must be positive, got {w}")
+        return (float(v), float(w))
+
+    def message(self, state: State, outdegree: int) -> Message:
+        y, z = state
+        return (y / outdegree, z / outdegree)
+
+    def transition(self, state: State, received: Tuple[Message, ...]) -> State:
+        # The agent's own share arrives through its self-loop, so the new
+        # state is exactly the sum of the received shares (eqs. (6)-(7)).
+        y = sum(m[0] for m in received)
+        z = sum(m[1] for m in received)
+        return (y, z)
+
+    def output(self, state: State) -> float:
+        y, z = state
+        return y / z
+
+
+VectorState = Tuple[Tuple[float, ...], float]
+
+
+class VectorPushSumAlgorithm(OutdegreeAlgorithm):
+    """Push-Sum over ``X = ℝᵏ`` (§2.3's Euclidean-metric setting).
+
+    Inputs are length-``k`` sequences; each agent's estimate converges in
+    ``δ2`` to the componentwise average — e.g. positions of a swarm
+    converging on their barycenter.  The scalar analysis of Theorem 5.2
+    applies per coordinate (the same matrices act on every component).
+    """
+
+    def initial_state(self, input_value) -> VectorState:
+        return (tuple(float(x) for x in input_value), 1.0)
+
+    def message(self, state: VectorState, outdegree: int) -> VectorState:
+        y, z = state
+        return (tuple(x / outdegree for x in y), z / outdegree)
+
+    def transition(self, state: VectorState, received: Tuple[VectorState, ...]) -> VectorState:
+        if not received:
+            return state
+        k = len(received[0][0])
+        y = tuple(sum(m[0][i] for m in received) for i in range(k))
+        z = sum(m[1] for m in received)
+        return (y, z)
+
+    def output(self, state: VectorState) -> Tuple[float, ...]:
+        y, z = state
+        return tuple(x / z for x in y)

@@ -1,0 +1,164 @@
+"""Push-Sum for frequency / multiset computation (Algorithm 1, §5.4–5.5).
+
+One Push-Sum instance runs per input value ω, started by the agents whose
+input is ω; everyone else joins the instance upon first hearing of ω.  The
+paper argues correctness by reduction to Push-Sum under *asynchronous
+starts*: a not-yet-aware agent is a sleeping, isolated vertex.  We
+implement exactly that semantics:
+
+* shares from a sender that does not yet know ω are ignored (in the masked
+  dynamic graph of §5.3 the edge from a sleeping vertex does not exist);
+* when an agent first hears of ω it *joins*: its new ``z[ω]`` is its
+  retained unit (1 — or, in the ℓ-leader variant of §5.5, 1 for leaders
+  and 0 otherwise) plus the shares received from aware senders.
+
+(The pseudocode of Algorithm 1 instead patches a missing entry with
+``z = 1`` on the receiver side every round; on directed topologies that
+re-injects a sleeping agent's unit once per round per aware receiver and
+the totals drift.  The join semantics above is the one that matches the
+asynchronous-start execution invoked by the paper's correctness argument;
+both coincide on the first contact round.)
+
+With this accounting, for every value ω, ``Σ_i y_i[ω]`` is the
+multiplicity of ω and ``Σ_i z_i[ω]`` converges to ``n`` (or ℓ, with
+leaders), so each ``x_i[ω] = y_i[ω]/z_i[ω]`` converges to the frequency
+``ν_v(ω)`` (resp. multiplicity/ℓ).  When a bound ``N ≥ n`` is known,
+rounding to the nearest rational in ``ℚ_N`` makes the computation exact in
+finite time (Corollary 5.3); with ``n`` known or ℓ leaders the multiset is
+recovered (Corollary 5.4, §5.5); with no knowledge the normalized
+estimates compute any function continuous in frequency (Corollary 5.5).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.agent import OutdegreeAlgorithm
+from repro.algorithms.rational import nearest_frequency
+from repro.functions.frequency import FrequencyFunction
+
+Shares = Dict[Any, Tuple[float, float]]
+State = Tuple[float, Dict[Any, Tuple[float, float]]]
+
+
+class PushSumFrequencyAlgorithm(OutdegreeAlgorithm):
+    """Per-value Push-Sum computing frequencies, exact frequencies, or multiplicities.
+
+    Parameters
+    ----------
+    mode:
+        ``"frequencies"`` — output the normalized estimate ``x̂`` as a
+        sorted-key dict of floats (Corollary 5.5 regime; no knowledge).
+        ``"exact"`` — round each estimate to the nearest rational in
+        ``ℚ_N`` (requires ``n_bound``); output a
+        :class:`~repro.functions.frequency.FrequencyFunction` once the
+        rounded values form one, else ``None`` (Corollary 5.3).
+        ``"multiset"`` — output the integer multiplicity dict (requires
+        ``n`` or ``leader_count``; Corollary 5.4 / §5.5).
+    f:
+        Optional post-processing: in ``frequencies`` mode called on the
+        float dict; in ``exact`` mode on the canonical vector ``⟨ν⟩``; in
+        ``multiset`` mode on the realized input vector.
+    leader_count:
+        Enables the ℓ-leader variant; inputs must then be
+        ``(value, is_leader)`` pairs.
+    """
+
+    def __init__(
+        self,
+        mode: str = "frequencies",
+        f: Optional[Callable[..., Any]] = None,
+        n_bound: Optional[int] = None,
+        n: Optional[int] = None,
+        leader_count: Optional[int] = None,
+    ):
+        if mode not in ("frequencies", "exact", "multiset"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "exact" and n_bound is None:
+            raise ValueError("exact mode needs n_bound (Corollary 5.3)")
+        if mode == "multiset" and n is None and leader_count is None:
+            raise ValueError("multiset mode needs n or leader_count")
+        self.mode = mode
+        self.f = f
+        self.n_bound = n_bound
+        self.n = n
+        self.leader_count = leader_count
+
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, input_value: Any) -> State:
+        if self.leader_count is not None:
+            value, is_leader = input_value
+            unit = 1.0 if is_leader else 0.0
+        else:
+            value, unit = input_value, 1.0
+        return (unit, {value: (1.0, unit)})
+
+    def message(self, state: State, outdegree: int) -> Shares:
+        _unit, table = state
+        return {w: (y / outdegree, z / outdegree) for w, (y, z) in table.items()}
+
+    def transition(self, state: State, received: Tuple[Shares, ...]) -> State:
+        unit, table = state
+        support = set(table)
+        for shares in received:
+            support.update(shares)
+        new_table: Dict[Any, Tuple[float, float]] = {}
+        for w in support:
+            y = sum(shares[w][0] for shares in received if w in shares)
+            z = sum(shares[w][1] for shares in received if w in shares)
+            if w not in table:
+                # Joining the ω-instance: the retained unit enters
+                # circulation exactly once (asynchronous start).
+                z += unit
+            new_table[w] = (y, z)
+        return (unit, new_table)
+
+    # ------------------------------------------------------------------ #
+
+    def estimates(self, state: State) -> Dict[Any, float]:
+        """Raw ``x_i[ω] = y/z`` (``inf`` when ``z`` is still zero)."""
+        _unit, table = state
+        out = {}
+        for w, (y, z) in sorted(table.items(), key=lambda kv: repr(kv[0])):
+            out[w] = (y / z) if z > 0 else float("inf")
+        return out
+
+    def output(self, state: State) -> Any:
+        x = self.estimates(state)
+        if self.mode == "frequencies":
+            finite = all(v != float("inf") for v in x.values())
+            total = sum(x.values()) if finite else 0.0
+            if not finite or total <= 0:
+                return None
+            normalized = {w: v / total for w, v in x.items()}
+            return self.f(normalized) if self.f else normalized
+        if self.mode == "exact":
+            rounded: Dict[Any, Fraction] = {}
+            for w, v in x.items():
+                if v == float("inf"):
+                    return None
+                rounded[w] = nearest_frequency(v, self.n_bound)
+            if sum(rounded.values(), Fraction(0)) != 1:
+                return None
+            nu = FrequencyFunction(rounded)
+            return self.f(nu.canonical_vector()) if self.f else nu
+        # multiset mode
+        scale = self.leader_count if self.leader_count is not None else self.n
+        mults: Dict[Any, int] = {}
+        for w, v in x.items():
+            if v == float("inf"):
+                return None
+            m = round(scale * v)
+            if m < 0:
+                return None
+            if m > 0:
+                mults[w] = m
+        if not mults:
+            return None
+        mults = dict(sorted(mults.items(), key=lambda kv: repr(kv[0])))
+        if self.f:
+            vector = [w for w, m in mults.items() for _ in range(m)]
+            return self.f(vector)
+        return mults

@@ -1,0 +1,58 @@
+"""Best rational approximation with bounded denominator (Corollary 5.3).
+
+Exact frequencies live in ``ℚ_N = {p/q : 0 <= p <= q <= N}``; two distinct
+members are at least ``1/N²`` apart, so once Push-Sum's estimate is within
+``1/(2N²)`` of the truth, rounding to the nearest member of ``ℚ_N``
+recovers the frequency exactly.  The rounding is the classic continued-
+fraction / Stern–Brocot best-approximation algorithm, implemented here
+from scratch (exactly, on ``Fraction`` inputs derived from the float).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+
+def nearest_rational(x: Union[float, Fraction], max_denominator: int) -> Fraction:
+    """The fraction with denominator ≤ ``max_denominator`` closest to ``x``.
+
+    Ties are broken toward the approximant produced by the continued-
+    fraction recursion (the semiconvergent), matching the standard
+    best-approximation construction.
+    """
+    if max_denominator < 1:
+        raise ValueError("max_denominator must be >= 1")
+    target = Fraction(x) if not isinstance(x, Fraction) else x
+    if target.denominator <= max_denominator:
+        return target
+
+    # Continued-fraction expansion with convergents p/q; stop before the
+    # denominator bound is exceeded, then consider the best semiconvergent.
+    p0, q0 = 0, 1
+    p1, q1 = 1, 0
+    n, d = target.numerator, target.denominator
+    while True:
+        a = n // d
+        p2 = a * p1 + p0
+        q2 = a * q1 + q0
+        if q2 > max_denominator:
+            break
+        p0, q0, p1, q1 = p1, q1, p2, q2
+        n, d = d, n - a * d
+        if d == 0:
+            return Fraction(p1, q1)
+
+    # Largest k with q0 + k·q1 <= bound gives the best semiconvergent.
+    k = (max_denominator - q0) // q1
+    semi = Fraction(p0 + k * p1, q0 + k * q1)
+    conv = Fraction(p1, q1)
+    if abs(semi - target) < abs(conv - target):
+        return semi
+    return conv
+
+
+def nearest_frequency(x: float, n_bound: int) -> Fraction:
+    """Nearest member of ``ℚ_N`` (clamped to [0, 1]) — Corollary 5.3's rounding."""
+    clamped = min(1.0, max(0.0, x))
+    return nearest_rational(clamped, n_bound)

@@ -1,0 +1,34 @@
+"""Experiment harnesses: the lifting-lemma machinery run as experiments
+(:mod:`.impossibility`), cell-by-cell reproduction of Tables 1 and 2
+(:mod:`.tables`), and plain-text table rendering (:mod:`.reporting`)."""
+
+from repro.analysis.impossibility import (
+    CollapseOutcome,
+    demonstrate_collapse,
+    frequency_counterexample,
+    verify_lifting_on_outputs,
+)
+from repro.analysis.certificate import certificate_json, reproduction_certificate
+from repro.analysis.reporting import render_table
+from repro.analysis.tables import (
+    CellResult,
+    run_dynamic_cell,
+    run_static_cell,
+    reproduce_table1,
+    reproduce_table2,
+)
+
+__all__ = [
+    "CellResult",
+    "CollapseOutcome",
+    "certificate_json",
+    "reproduction_certificate",
+    "demonstrate_collapse",
+    "frequency_counterexample",
+    "render_table",
+    "reproduce_table1",
+    "reproduce_table2",
+    "run_dynamic_cell",
+    "run_static_cell",
+    "verify_lifting_on_outputs",
+]

@@ -1,0 +1,81 @@
+"""Bandwidth accounting: how big are the messages, really?
+
+The paper repeatedly trades *what* is computable against *what it costs*:
+Push-Sum uses a constant number of reals per known value; the
+Boldi–Vigna views grow linearly (as DAGs) per round; Di Luna–Viglietta's
+history trees use "an infinite number of states and an infinite
+bandwidth in each of its executions".  This module measures message
+sizes of actual executions so those statements become curves.
+
+Sizes are in abstract *units*: every atomic payload (number, string,
+boolean, ``None``) costs 1, containers cost the sum of their parts, and
+hash-consed :class:`~repro.graphs.views.View` DAGs cost their number of
+*distinct* nodes plus edges — the honest wire size under structure
+sharing (each interned node transmitted once).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.agent import BroadcastAlgorithm, OutdegreeAlgorithm, OutputPortAlgorithm
+from repro.core.execution import Execution
+from repro.graphs.views import View
+
+
+def payload_units(message: Any) -> int:
+    """Abstract size of one message."""
+    seen_views: set = set()
+
+    def measure(obj: Any) -> int:
+        if isinstance(obj, View):
+            return _view_units(obj, seen_views)
+        if isinstance(obj, dict):
+            return sum(measure(k) + measure(v) for k, v in obj.items())
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            return sum(measure(x) for x in obj)
+        return 1
+
+    return measure(message)
+
+
+def _view_units(view: View, seen: set) -> int:
+    """Distinct nodes + edges reachable from ``view`` (shared across one
+    message: a node referenced twice is shipped once)."""
+    units = 0
+    stack = [view]
+    while stack:
+        node = stack.pop()
+        if node.uid in seen:
+            continue
+        seen.add(node.uid)
+        units += 1 + len(node.children)  # the node + its child references
+        for (_color, child) in node.children:
+            stack.append(child)
+    return units
+
+
+def max_message_units(execution: Execution) -> int:
+    """The largest message any agent would send from the current states."""
+    algorithm = execution.algorithm
+    g = execution.network.graph_at(max(execution.round_number, 1))
+    worst = 0
+    for v in range(execution.n):
+        state = execution.states[v]
+        if isinstance(algorithm, OutputPortAlgorithm):
+            msgs = algorithm.messages(state, g.outdegree(v))
+            worst = max(worst, max(payload_units(m) for m in msgs))
+        elif isinstance(algorithm, OutdegreeAlgorithm):
+            worst = max(worst, payload_units(algorithm.message(state, g.outdegree(v))))
+        elif isinstance(algorithm, BroadcastAlgorithm):
+            worst = max(worst, payload_units(algorithm.message(state)))
+    return worst
+
+
+def bandwidth_curve(execution: Execution, rounds: int) -> List[int]:
+    """Per-round worst-case message size while running ``execution``."""
+    curve = []
+    for _ in range(rounds):
+        execution.step()
+        curve.append(max_message_units(execution))
+    return curve

@@ -1,0 +1,57 @@
+"""Machine-readable reproduction certificates.
+
+``python -m repro --json`` (or :func:`reproduction_certificate` directly)
+emits a JSON document recording, for every cell of Tables 1 and 2, the
+measured function class, the paper's claim, the probe details, and the
+overall verdict — the artifact a CI pipeline archives to prove the
+reproduction still holds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.tables import CellResult, reproduce_table1, reproduce_table2
+
+
+def _cell_record(result: CellResult) -> Dict[str, Any]:
+    return {
+        "model": result.model.value,
+        "knowledge": result.knowledge.value,
+        "dynamic": result.dynamic,
+        "measured_class": None if result.measured is None else result.measured.label,
+        "paper_class": result.expected.label(),
+        "paper_note": result.expected.note,
+        "open_question": result.expected.open_question,
+        "consistent": result.consistent,
+        "details": list(result.details),
+    }
+
+
+def reproduction_certificate(n: int = 6, seed: int = 0) -> Dict[str, Any]:
+    """Run both tables and assemble the certificate document."""
+    table1 = [_cell_record(r) for r in reproduce_table1(n=n, seed=seed)]
+    table2 = [_cell_record(r) for r in reproduce_table2(n=min(n, 6), seed=seed)]
+    all_cells = table1 + table2
+    return {
+        "paper": (
+            "Know your audience: Communication model and computability in "
+            "anonymous networks (Charron-Bost & Lambein-Monette, PODC 2024)"
+        ),
+        "parameters": {"n": n, "seed": seed},
+        "table1": table1,
+        "table2": table2,
+        "summary": {
+            "cells": len(all_cells),
+            "consistent": sum(c["consistent"] for c in all_cells),
+            "open_cells_demonstrated": sum(
+                1 for c in all_cells if c["open_question"] and c["measured_class"]
+            ),
+            "verdict": "PASS" if all(c["consistent"] for c in all_cells) else "FAIL",
+        },
+    }
+
+
+def certificate_json(n: int = 6, seed: int = 0, indent: int = 2) -> str:
+    return json.dumps(reproduction_certificate(n=n, seed=seed), indent=indent)

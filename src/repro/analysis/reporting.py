@@ -1,0 +1,57 @@
+"""Plain-text table rendering and CSV export for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """A boxed, aligned, monospace table (all cells stringified)."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([str(c) for c in row])
+    n_cols = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (n_cols - len(r)))
+    widths = [max(len(r[c]) for r in cells) for c in range(n_cols)]
+
+    def hline(sep: str = "-") -> str:
+        return "+" + "+".join(sep * (w + 2) for w in widths) + "+"
+
+    def fmt(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(hline("="))
+    out.append(fmt(cells[0]))
+    out.append(hline("="))
+    for row in cells[1:]:
+        out.append(fmt(row))
+    out.append(hline())
+    return "\n".join(out)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """The same tabular data as CSV text (for plotting pipelines)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def trace_csv(report, series_name: str = "value") -> str:
+    """A :class:`~repro.core.convergence.ConvergenceReport` trace as CSV.
+
+    Exact-mode traces hold the per-round unanimous value (or blank);
+    asymptotic-mode traces hold the per-round spread/error.
+    """
+    rows = [
+        (t, "" if v is None else v) for t, v in enumerate(report.trace, start=1)
+    ]
+    return to_csv(("round", series_name), rows)

@@ -1,0 +1,51 @@
+"""The computing model of Section 2: agents, models, executions.
+
+:mod:`.models` — the four communication models; :mod:`.agent` — algorithms
+as automata (state set, sending function, transition function);
+:mod:`.execution` — the synchronous round executor over static and dynamic
+graphs; :mod:`.metrics` and :mod:`.convergence` — δ-computation in metric
+spaces; :mod:`.network_class` — network classes and centralized-help
+levels; :mod:`.computability` — the machine-readable form of Tables 1 & 2.
+"""
+
+from repro.core.models import CommunicationModel
+from repro.core.agent import (
+    Algorithm,
+    BroadcastAlgorithm,
+    OutdegreeAlgorithm,
+    OutputPortAlgorithm,
+)
+from repro.core.execution import Execution
+from repro.core.metrics import discrete_metric, euclidean_metric
+from repro.core.convergence import (
+    ConvergenceReport,
+    run_until_asymptotic,
+    run_until_stable,
+)
+from repro.core.network_class import Knowledge, NetworkClassSpec
+from repro.core.computability import (
+    CellCharacterization,
+    computable_class,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "Algorithm",
+    "BroadcastAlgorithm",
+    "CellCharacterization",
+    "CommunicationModel",
+    "ConvergenceReport",
+    "Execution",
+    "Knowledge",
+    "NetworkClassSpec",
+    "OutdegreeAlgorithm",
+    "OutputPortAlgorithm",
+    "computable_class",
+    "discrete_metric",
+    "euclidean_metric",
+    "run_until_asymptotic",
+    "run_until_stable",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,84 @@
+"""Algorithms as anonymous automata (Section 2.2).
+
+An algorithm is a set of local states with a *sending function* and a
+*transition function*.  All agents run the same algorithm (the network is
+anonymous and deterministic); nothing in the interface can reference an
+agent identity — the executor never passes one.
+
+Subclass the variant matching your communication model:
+
+* :class:`BroadcastAlgorithm` — ``message(state)``;
+* :class:`OutdegreeAlgorithm` — ``message(state, outdegree)``;
+* :class:`OutputPortAlgorithm` — ``messages(state, outdegree)`` returning
+  one message per port.
+
+``transition(state, received)`` receives the *multiset* of messages as a
+tuple in executor-scrambled order; a correct anonymous algorithm must not
+depend on that order.  ``output(state)`` extracts the agent's current
+output variable ``x_i``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence, Tuple
+
+from repro.core.models import CommunicationModel
+
+
+class Algorithm(abc.ABC):
+    """Common base: initialization, transition, and output extraction."""
+
+    #: The communication model this algorithm is written for.
+    model: CommunicationModel
+
+    @abc.abstractmethod
+    def initial_state(self, input_value: Any) -> Any:
+        """``Q0`` as a function of the agent's private input."""
+
+    @abc.abstractmethod
+    def transition(self, state: Any, received: Tuple[Any, ...]) -> Any:
+        """``δ(q, M)`` — the new state from the received message multiset."""
+
+    @abc.abstractmethod
+    def output(self, state: Any) -> Any:
+        """The output variable ``x_i`` read off the local state."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class BroadcastAlgorithm(Algorithm):
+    """Sending function ``σ : Q -> M`` — simple broadcast (graph-invariant).
+
+    Also the base class for the *symmetric communications* model, which
+    uses broadcast sending functions on bidirectional networks; set
+    ``model = CommunicationModel.SYMMETRIC`` in the subclass to have the
+    executor enforce network symmetry.
+    """
+
+    model = CommunicationModel.SIMPLE_BROADCAST
+
+    @abc.abstractmethod
+    def message(self, state: Any) -> Any:
+        """The unique message cast out this round."""
+
+
+class OutdegreeAlgorithm(Algorithm):
+    """Sending function ``σ : Q × ℕ -> M`` — outdegree awareness (isotropic)."""
+
+    model = CommunicationModel.OUTDEGREE_AWARE
+
+    @abc.abstractmethod
+    def message(self, state: Any, outdegree: int) -> Any:
+        """The message broadcast to all ``outdegree`` recipients."""
+
+
+class OutputPortAlgorithm(Algorithm):
+    """Sending function ``σ : Q × ℕ -> ⋃ M^k`` — output port awareness."""
+
+    model = CommunicationModel.OUTPUT_PORT_AWARE
+
+    @abc.abstractmethod
+    def messages(self, state: Any, outdegree: int) -> Sequence[Any]:
+        """One message per output port ``0 .. outdegree-1``."""

@@ -1,0 +1,149 @@
+"""The computability characterization — Tables 1 and 2 in executable form.
+
+Every cell of the paper's two summary tables is encoded as a
+:class:`CellCharacterization`: the class of computable functions, whether
+the positive direction is exact (δ0, finite time) or asymptotic only, and
+the citation the paper gives.  The benchmark harness replays each cell
+experimentally and checks the outcome against this oracle — the library's
+equivalent of "reproducing the table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.models import CommunicationModel
+from repro.core.network_class import Knowledge
+from repro.functions.classes import FunctionClass
+
+
+@dataclass(frozen=True)
+class CellCharacterization:
+    """One cell of Table 1 or Table 2.
+
+    ``function_class`` — the exact class of computable functions, or
+    ``None`` when the paper leaves the cell open ("?" in Table 2);
+    ``exact`` — whether computation is exact for any metric (δ0) or only
+    asymptotic; ``note`` — the paper's citation or remark for the cell.
+    """
+
+    function_class: Optional[FunctionClass]
+    exact: bool
+    note: str
+
+    @property
+    def open_question(self) -> bool:
+        return self.function_class is None
+
+    def label(self) -> str:
+        if self.function_class is None:
+            return "?"
+        suffix = "" if self.exact else " (asymptotic)"
+        return self.function_class.label + suffix
+
+
+_SET = FunctionClass.SET_BASED
+_FREQ = FunctionClass.FREQUENCY_BASED
+_MULTI = FunctionClass.MULTISET_BASED
+
+_B = CommunicationModel.SIMPLE_BROADCAST
+_OD = CommunicationModel.OUTDEGREE_AWARE
+_SYM = CommunicationModel.SYMMETRIC
+_OP = CommunicationModel.OUTPUT_PORT_AWARE
+
+
+def _static_table() -> Dict[Tuple[Knowledge, CommunicationModel], CellCharacterization]:
+    table: Dict[Tuple[Knowledge, CommunicationModel], CellCharacterization] = {}
+    for knowledge in Knowledge:
+        cite = {
+            Knowledge.NONE: "Hendrickx et al. [20]",
+            Knowledge.BOUND_N: "Boldi & Vigna [6]",
+            Knowledge.EXACT_N: "Boldi & Vigna [6] (n >= 4)",
+            Knowledge.LEADER: "Boldi & Vigna [6], adapted",
+        }[knowledge]
+        table[(knowledge, _B)] = CellCharacterization(_SET, exact=True, note=cite)
+    for model, eq in ((_OD, "eq. (1)"), (_SYM, "eq. (4)"), (_OP, "eq. (3)")):
+        table[(Knowledge.NONE, model)] = CellCharacterization(
+            _FREQ, exact=True, note=f"Theorem 4.1, {eq}"
+        )
+        table[(Knowledge.BOUND_N, model)] = CellCharacterization(
+            _FREQ, exact=True, note=f"Corollary 4.2, {eq}"
+        )
+        table[(Knowledge.EXACT_N, model)] = CellCharacterization(
+            _MULTI, exact=True, note=f"Corollary 4.3, {eq}"
+        )
+        table[(Knowledge.LEADER, model)] = CellCharacterization(
+            _MULTI, exact=True, note=f"Corollary 4.4, {eq}"
+        )
+    return table
+
+
+def _dynamic_table() -> Dict[Tuple[Knowledge, CommunicationModel], CellCharacterization]:
+    table: Dict[Tuple[Knowledge, CommunicationModel], CellCharacterization] = {}
+    for knowledge in Knowledge:
+        table[(knowledge, _B)] = CellCharacterization(
+            _SET, exact=True, note="Hendrickx et al. [20]"
+        )
+    table[(Knowledge.NONE, _OD)] = CellCharacterization(
+        None,
+        exact=False,
+        note="open; Corollary 5.5: frequency-based ∩ continuous-in-frequency is computable",
+    )
+    table[(Knowledge.BOUND_N, _OD)] = CellCharacterization(
+        _FREQ, exact=True, note="Corollary 5.3"
+    )
+    table[(Knowledge.EXACT_N, _OD)] = CellCharacterization(
+        _MULTI, exact=True, note="Corollary 5.4"
+    )
+    table[(Knowledge.LEADER, _OD)] = CellCharacterization(
+        None, exact=False, note="open; §5.5 computes multiset-based asymptotically"
+    )
+    table[(Knowledge.NONE, _SYM)] = CellCharacterization(
+        _FREQ, exact=True, note="Di Luna & Viglietta [26]"
+    )
+    table[(Knowledge.BOUND_N, _SYM)] = CellCharacterization(
+        _FREQ, exact=True, note="CB & LM [11]"
+    )
+    table[(Knowledge.EXACT_N, _SYM)] = CellCharacterization(
+        _MULTI, exact=True, note="CB & LM [11]"
+    )
+    table[(Knowledge.LEADER, _SYM)] = CellCharacterization(
+        _MULTI, exact=True, note="Di Luna & Viglietta [25]"
+    )
+    return table
+
+
+_TABLE1 = _static_table()
+_TABLE2 = _dynamic_table()
+
+#: Column orders as printed in the paper.
+TABLE1_MODELS: List[CommunicationModel] = [_B, _OD, _SYM, _OP]
+TABLE2_MODELS: List[CommunicationModel] = [_B, _OD, _SYM]
+ROW_ORDER: List[Knowledge] = [
+    Knowledge.NONE,
+    Knowledge.BOUND_N,
+    Knowledge.EXACT_N,
+    Knowledge.LEADER,
+]
+
+
+def computable_class(
+    model: CommunicationModel, knowledge: Knowledge, dynamic: bool = False
+) -> CellCharacterization:
+    """The paper's answer for one (model, help, static/dynamic) cell."""
+    table = _TABLE2 if dynamic else _TABLE1
+    key = (knowledge, model)
+    if key not in table:
+        raise KeyError(f"no cell for {model} / {knowledge} in table {'2' if dynamic else '1'}")
+    return table[key]
+
+
+def table1() -> Dict[Tuple[Knowledge, CommunicationModel], CellCharacterization]:
+    """Table 1 (static strongly connected networks), as a dict copy."""
+    return dict(_TABLE1)
+
+
+def table2() -> Dict[Tuple[Knowledge, CommunicationModel], CellCharacterization]:
+    """Table 2 (dynamic networks with finite dynamic diameter), as a dict copy."""
+    return dict(_TABLE2)

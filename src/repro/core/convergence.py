@@ -1,0 +1,149 @@
+"""Convergence detection: declaring that an execution δ-computes a value.
+
+The paper's computability has no termination requirement, so a harness can
+only certify convergence *empirically*: for the discrete metric we demand
+unanimity that survives a patience window; for the Euclidean metric we
+demand the outputs' spread (and, when a target is known, their error) below
+a tolerance.  Both detectors report *when* the property first held, which
+is what the stabilization-time benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.execution import Execution
+from repro.core.metrics import discrete_metric, euclidean_metric, spread
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of driving an execution to (non-)convergence.
+
+    ``converged`` — the detector's criterion held at the end;
+    ``value`` — the common output (exact mode) or the output mean
+    (asymptotic mode); ``stabilization_round`` — first round from which the
+    criterion held continuously (exact mode: first round of the final
+    unanimous streak); ``rounds_run`` — total rounds executed;
+    ``outputs`` — final per-agent outputs; ``trace`` — per-round unanimous
+    outputs (exact mode) or spreads (asymptotic mode), for plots/benches.
+    """
+
+    converged: bool
+    value: Any
+    stabilization_round: Optional[int]
+    rounds_run: int
+    outputs: List[Any]
+    trace: List[Any] = field(default_factory=list)
+
+
+def run_until_stable(
+    execution: Execution,
+    max_rounds: int,
+    patience: int = 5,
+    target: Any = None,
+) -> ConvergenceReport:
+    """Exact (δ0) detector: unanimity, unchanged for ``patience`` rounds.
+
+    When ``target`` is given, unanimity on a *different* value does not
+    count as convergence (it still counts as stabilization, which the
+    report reflects via ``value``).
+    """
+    if patience < 1:
+        raise ValueError("patience must be >= 1")
+    streak_value: Any = None
+    streak_start: Optional[int] = None
+    streak_len = 0
+    trace: List[Any] = []
+    for _ in range(max_rounds):
+        t = execution.step()
+        current = execution.unanimous_output()
+        trace.append(current)
+        if (
+            current is not None
+            and streak_len > 0
+            and discrete_metric(current, streak_value) == 0.0
+        ):
+            streak_len += 1
+        elif current is not None:
+            streak_value = current
+            streak_start = t
+            streak_len = 1
+        else:
+            streak_value = None
+            streak_start = None
+            streak_len = 0
+        if streak_len >= patience and (
+            target is None or discrete_metric(streak_value, target) == 0.0
+        ):
+            return ConvergenceReport(
+                converged=True,
+                value=streak_value,
+                stabilization_round=streak_start,
+                rounds_run=execution.round_number,
+                outputs=execution.outputs(),
+                trace=trace,
+            )
+    stabilized = streak_len >= patience
+    return ConvergenceReport(
+        converged=stabilized and target is None,
+        value=streak_value if stabilized else None,
+        stabilization_round=streak_start if stabilized else None,
+        rounds_run=execution.round_number,
+        outputs=execution.outputs(),
+        trace=trace,
+    )
+
+
+def run_until_asymptotic(
+    execution: Execution,
+    max_rounds: int,
+    tolerance: float = 1e-6,
+    target: Any = None,
+    metric: Callable[[Any, Any], float] = euclidean_metric,
+    output_filter: Callable[[Any], bool] = None,
+    patience: int = 3,
+) -> ConvergenceReport:
+    """Asymptotic (δ2) detector: spread (and error, if target known) ≤ tolerance.
+
+    ``output_filter`` optionally discards not-yet-meaningful outputs (e.g.
+    the transient ``∞`` of the leader Push-Sum variant); rounds where any
+    output is filtered never converge.  Stops early once the criterion has
+    held for ``patience`` consecutive rounds.
+    """
+    first_good: Optional[int] = None
+    trace: List[float] = []
+    for _ in range(max_rounds):
+        t = execution.step()
+        outs = execution.outputs()
+        if output_filter is not None and not all(output_filter(o) for o in outs):
+            trace.append(float("inf"))
+            first_good = None
+            continue
+        sp = spread(outs, metric)
+        err = max(metric(o, target) for o in outs) if target is not None else 0.0
+        trace.append(max(sp, err))
+        good = sp <= tolerance and err <= tolerance
+        if good and first_good is None:
+            first_good = t
+        elif not good:
+            first_good = None
+        if first_good is not None and t - first_good + 1 >= patience:
+            break
+    outs = execution.outputs()
+    converged = first_good is not None
+    mean_value: Any = None
+    if converged:
+        try:
+            mean_value = sum(float(o) for o in outs) / len(outs)
+        except (TypeError, ValueError):
+            mean_value = outs[0]
+    return ConvergenceReport(
+        converged=converged,
+        value=mean_value,
+        stabilization_round=first_good,
+        rounds_run=execution.round_number,
+        outputs=outs,
+        trace=trace,
+    )

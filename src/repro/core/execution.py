@@ -1,0 +1,184 @@
+"""The synchronous round executor (Section 2.2).
+
+In each round ``t = 1, 2, ...`` every agent (a) applies the sending
+function to generate messages, (b) receives the messages carried by the
+in-edges of ``𝔾(t)``, and (c) applies the transition function.  The
+executor enforces the declared communication model: an algorithm is handed
+*exactly* the information its model allows — nothing for simple broadcast,
+the current outdegree for outdegree awareness, per-port fan-out for output
+port awareness — and message delivery order is scrambled per round so that
+a transition function relying on implicit sender identities breaks loudly
+in tests rather than silently cheating anonymity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.core.agent import (
+    Algorithm,
+    BroadcastAlgorithm,
+    OutdegreeAlgorithm,
+    OutputPortAlgorithm,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.properties import is_symmetric
+from repro.dynamics.dynamic_graph import DynamicGraph, StaticAsDynamic
+
+
+class Execution:
+    """One execution of an algorithm on a network.
+
+    Parameters
+    ----------
+    algorithm:
+        The anonymous algorithm run (identically) by every agent.
+    network:
+        A static :class:`DiGraph` or a :class:`DynamicGraph`.
+    inputs:
+        One private input value per agent; ``initial_state`` is applied to
+        each.  Ignored when ``initial_states`` is given.
+    initial_states:
+        Explicit initial local states — the self-stabilization entry point
+        (arbitrary initialization, §2.2).
+    scramble_seed:
+        Seed for per-round delivery-order scrambling.  ``None`` disables
+        scrambling (messages arrive in in-edge order) — useful only for
+        debugging; the default keeps anonymity honest.
+    check_model:
+        Verify per round that the network satisfies the model's class
+        constraints (symmetry for ``SYMMETRIC``, staticity for
+        ``OUTPUT_PORT_AWARE``).
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        network: Union[DiGraph, DynamicGraph],
+        inputs: Optional[Sequence[Any]] = None,
+        initial_states: Optional[Sequence[Any]] = None,
+        scramble_seed: Optional[int] = 0,
+        check_model: bool = True,
+    ):
+        self.algorithm = algorithm
+        if isinstance(network, DiGraph):
+            self.network: DynamicGraph = StaticAsDynamic(network)
+            self._static = True
+        else:
+            self.network = network
+            self._static = isinstance(network, StaticAsDynamic)
+        self.n = self.network.n
+        if initial_states is not None:
+            if len(initial_states) != self.n:
+                raise ValueError(f"got {len(initial_states)} states for {self.n} agents")
+            self.states: List[Any] = list(initial_states)
+        else:
+            if inputs is None:
+                raise ValueError("provide inputs or initial_states")
+            if len(inputs) != self.n:
+                raise ValueError(f"got {len(inputs)} inputs for {self.n} agents")
+            self.states = [algorithm.initial_state(v) for v in inputs]
+        self.round_number = 0
+        self._scramble_seed = scramble_seed
+        self._check_model = check_model
+        model = algorithm.model
+        if check_model and model.static_only and not self._static:
+            raise ValueError(f"{model} is only meaningful on static networks (§2.2)")
+
+    # ------------------------------------------------------------------ #
+
+    def _outgoing(self, g: DiGraph, v: int) -> Any:
+        """The per-edge message payloads of agent ``v`` this round.
+
+        Returns either a single isotropic message or, in the port model, a
+        list indexed by port.
+        """
+        alg = self.algorithm
+        d = g.outdegree(v)
+        if isinstance(alg, OutputPortAlgorithm):
+            msgs = list(alg.messages(self.states[v], d))
+            if len(msgs) != d:
+                raise ValueError(
+                    f"{alg.name()} produced {len(msgs)} messages for outdegree {d}"
+                )
+            return msgs
+        if isinstance(alg, OutdegreeAlgorithm):
+            return alg.message(self.states[v], d)
+        if isinstance(alg, BroadcastAlgorithm):
+            return alg.message(self.states[v])
+        raise TypeError(f"unknown algorithm flavor: {type(alg).__name__}")
+
+    def step(self) -> int:
+        """Run one full round; returns the new round number."""
+        t = self.round_number + 1
+        g = self.network.graph_at(t)
+        if g.n != self.n:
+            raise ValueError(f"round {t} graph has {g.n} vertices, expected {self.n}")
+        if self._check_model:
+            if not g.all_have_self_loops():
+                raise ValueError(f"round {t} graph violates the self-loop assumption (§2.1)")
+            if self.algorithm.model.requires_symmetric_network and not is_symmetric(g):
+                raise ValueError(f"round {t} graph is not symmetric but the model requires it")
+
+        outgoing = [self._outgoing(g, v) for v in range(self.n)]
+        port_model = isinstance(self.algorithm, OutputPortAlgorithm)
+
+        inboxes: List[List[Any]] = [[] for _ in range(self.n)]
+        for j in range(self.n):
+            for e in g.in_edges(j):
+                payload = outgoing[e.source]
+                if port_model:
+                    payload = payload[g.port_of(e)]
+                inboxes[j].append(payload)
+
+        if self._scramble_seed is not None:
+            for j in range(self.n):
+                rng = random.Random(self._scramble_seed * 1_000_003 + t * 9973 + j)
+                rng.shuffle(inboxes[j])
+
+        self.states = [
+            self.algorithm.transition(self.states[j], tuple(inboxes[j]))
+            for j in range(self.n)
+        ]
+        self.round_number = t
+        return t
+
+    def run(self, rounds: int) -> "Execution":
+        """Advance ``rounds`` rounds; returns ``self`` for chaining."""
+        for _ in range(rounds):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def outputs(self) -> List[Any]:
+        """Current output variables ``x_1 .. x_n``."""
+        return [self.algorithm.output(s) for s in self.states]
+
+    def unanimous_output(self) -> Any:
+        """The common output if all agents agree, else ``None``.
+
+        Agreement is ``==`` with a ``repr`` fallback for unorderable or
+        exotic payloads.  (Plain ``repr`` comparison is *wrong* for sets:
+        two equal frozensets may iterate — hence print — in different
+        orders depending on insertion history and hash seed.)
+        """
+        outs = self.outputs()
+        first = outs[0]
+        for o in outs[1:]:
+            try:
+                if o == first:
+                    continue
+            except Exception:
+                pass
+            if repr(o) != repr(first):
+                return None
+            # repr-equal but not ==: treat as agreeing (e.g. NaN payloads).
+        return first
+
+    def __repr__(self) -> str:
+        return (
+            f"Execution({self.algorithm.name()}, n={self.n}, "
+            f"round={self.round_number})"
+        )

@@ -1,0 +1,50 @@
+"""Metrics for δ-computation (Section 2.3).
+
+The paper parameterizes computability by a metric ``δ`` on the output
+space: the discrete metric ``δ0`` yields exact finite-time computation,
+the Euclidean metric ``δ2`` yields asymptotic/approximate computation.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any, Sequence
+
+
+def discrete_metric(x: Any, y: Any) -> float:
+    """``δ0``: 0 if equal, 1 otherwise.  Equality via ``==`` with a ``repr``
+    fallback for unhashable/NaN-ish payloads."""
+    try:
+        if x == y:
+            return 0.0
+    except Exception:
+        pass
+    return 0.0 if repr(x) == repr(y) else 1.0
+
+
+def euclidean_metric(x: Any, y: Any) -> float:
+    """``δ2`` on scalars or same-length numeric sequences."""
+    if isinstance(x, Number) and isinstance(y, Number):
+        return abs(float(x) - float(y))
+    xs, ys = _as_vector(x), _as_vector(y)
+    if len(xs) != len(ys):
+        raise ValueError(f"euclidean distance of lengths {len(xs)} and {len(ys)}")
+    return sum((a - b) ** 2 for a, b in zip(xs, ys)) ** 0.5
+
+
+def _as_vector(x: Any) -> Sequence[float]:
+    if isinstance(x, Number):
+        return [float(x)]
+    try:
+        return [float(a) for a in x]
+    except TypeError as exc:
+        raise ValueError(f"not a numeric vector: {x!r}") from exc
+
+
+def spread(values: Sequence[Any], metric=euclidean_metric) -> float:
+    """Max pairwise distance among agents' outputs — 0 means consensus."""
+    worst = 0.0
+    for i in range(len(values)):
+        for j in range(i + 1, len(values)):
+            worst = max(worst, metric(values[i], values[j]))
+    return worst

@@ -1,0 +1,55 @@
+"""The four communication models of Section 2.2.
+
+All four share the same synchronous round structure (send, receive,
+transition); they differ only in what the sending function may depend on:
+
+* ``SIMPLE_BROADCAST`` — the message depends on the local state alone; the
+  agent knows nothing about who (or how many) will hear it.
+* ``OUTDEGREE_AWARE`` — the message may also depend on the current
+  outdegree ``d⁻`` (the number of recipients, self included), but is the
+  same on every out-edge (isotropic).
+* ``SYMMETRIC`` — the sending function is that of simple broadcast, but the
+  algorithm is only ever run in the class of networks with bidirectional
+  links.  In *static* symmetric networks agents can recover their outdegree
+  from their first-round indegree, so this model subsumes outdegree
+  awareness there (§2.2).
+* ``OUTPUT_PORT_AWARE`` — out-edges carry distinct local port labels
+  ``0 .. d⁻-1`` and each port may get a different message.  Only meaningful
+  for static networks (fixed labellings).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CommunicationModel(enum.Enum):
+    SIMPLE_BROADCAST = "simple broadcast"
+    OUTDEGREE_AWARE = "outdegree awareness"
+    SYMMETRIC = "symmetric communications"
+    OUTPUT_PORT_AWARE = "output port awareness"
+
+    @property
+    def isotropic(self) -> bool:
+        """True when the same message goes to every recipient."""
+        return self is not CommunicationModel.OUTPUT_PORT_AWARE
+
+    @property
+    def requires_symmetric_network(self) -> bool:
+        return self is CommunicationModel.SYMMETRIC
+
+    @property
+    def static_only(self) -> bool:
+        """Output-port awareness needs fixed labellings (§2.2)."""
+        return self is CommunicationModel.OUTPUT_PORT_AWARE
+
+    @property
+    def sees_outdegree(self) -> bool:
+        """Whether the sending function receives the current outdegree."""
+        return self in (
+            CommunicationModel.OUTDEGREE_AWARE,
+            CommunicationModel.OUTPUT_PORT_AWARE,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

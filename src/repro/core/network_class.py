@@ -1,0 +1,53 @@
+"""Network classes and centralized-help levels (Sections 2.1 and 4.4–4.5).
+
+A *network class* is an isomorphism-closed set of (dynamic) graphs; what an
+agent "knows" about the network is which class it is promised to lie in.
+The experiments sweep the four help levels of Tables 1 and 2 — nothing, a
+bound on ``n``, ``n`` itself, or one (or ℓ) distinguished leaders.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.models import CommunicationModel
+
+
+class Knowledge(enum.Enum):
+    """The row labels of Tables 1 and 2."""
+
+    NONE = "no centralized help"
+    BOUND_N = "a bound over n is known"
+    EXACT_N = "n is known"
+    LEADER = "one leader"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class NetworkClassSpec:
+    """One experimental regime: a communication model plus help level.
+
+    ``n_bound`` carries the promised bound (for ``BOUND_N``) or the exact
+    size (for ``EXACT_N``); ``leader_count`` the promised number of leaders
+    (for ``LEADER``); ``dynamic`` distinguishes Table 1 from Table 2.
+    """
+
+    model: CommunicationModel
+    knowledge: Knowledge
+    dynamic: bool = False
+    n_bound: Optional[int] = None
+    leader_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.knowledge in (Knowledge.BOUND_N, Knowledge.EXACT_N) and self.n_bound is None:
+            raise ValueError(f"{self.knowledge} needs n_bound")
+        if self.model.static_only and self.dynamic:
+            raise ValueError(f"{self.model} is only meaningful for static networks")
+
+    def describe(self) -> str:
+        setting = "dynamic" if self.dynamic else "static"
+        return f"{setting} / {self.model.value} / {self.knowledge.value}"

@@ -1,0 +1,50 @@
+"""Dynamic graphs: the time-varying networks of Sections 2 and 5."""
+
+from repro.dynamics.dynamic_graph import (
+    DynamicGraph,
+    FunctionDynamicGraph,
+    PeriodicDynamicGraph,
+    SequenceDynamicGraph,
+    StaticAsDynamic,
+)
+from repro.dynamics.generators import (
+    random_dynamic_strongly_connected,
+    random_dynamic_symmetric,
+    sparse_pulsed_dynamic,
+)
+from repro.dynamics.diameter import dynamic_diameter, window_to_completeness
+from repro.dynamics.starts import AsynchronousStartGraph
+from repro.dynamics.weak_connectivity import (
+    certify_unbounded_diameter,
+    eventually_split_dynamic,
+    growing_gap_dynamic,
+)
+from repro.dynamics.pairwise import random_matching_dynamic
+from repro.dynamics.adversarial import (
+    bottleneck_dynamic,
+    rooted_tree_dynamic,
+    rotating_star_dynamic,
+)
+from repro.dynamics.lossy import LossyDynamicGraph
+
+__all__ = [
+    "AsynchronousStartGraph",
+    "LossyDynamicGraph",
+    "bottleneck_dynamic",
+    "rooted_tree_dynamic",
+    "rotating_star_dynamic",
+    "DynamicGraph",
+    "FunctionDynamicGraph",
+    "PeriodicDynamicGraph",
+    "SequenceDynamicGraph",
+    "StaticAsDynamic",
+    "certify_unbounded_diameter",
+    "dynamic_diameter",
+    "eventually_split_dynamic",
+    "growing_gap_dynamic",
+    "random_dynamic_strongly_connected",
+    "random_dynamic_symmetric",
+    "random_matching_dynamic",
+    "sparse_pulsed_dynamic",
+    "window_to_completeness",
+]

@@ -1,0 +1,92 @@
+"""Adversarial dynamic schedules: worst-case-flavored communication patterns.
+
+The paper's guarantees are worst-case over dynamic graphs with a given
+dynamic diameter, so benchmarks on random graphs (which mix fast)
+understate the constants.  This module provides classically hard
+schedules:
+
+* :func:`rotating_star_dynamic` — each round a star centered on a
+  rotating hub: per-round diameter 2, but consecutive rounds share
+  (almost) no edges and relayed information must chase the moving hub —
+  the standard example that per-round structure cannot be accumulated;
+* :func:`rooted_tree_dynamic` — each round a random *in-tree* toward a
+  rotating root plus the root's out-star: information flows through a
+  single bottleneck vertex per round (the "rooted with bounded delay"
+  regime of footnote 8's Cao–Morse–Anderson theorem);
+* :func:`bottleneck_dynamic` — two cliques joined by a single bridge that
+  is only up every ``k`` rounds: finite dynamic diameter with a tight
+  communication bottleneck, the classic slow-mixing shape.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+from repro.dynamics.dynamic_graph import DynamicGraph, FunctionDynamicGraph
+
+
+def rotating_star_dynamic(n: int) -> DynamicGraph:
+    """Round ``t``: a bidirectional star centered on vertex ``t mod n``."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+
+    def fn(t: int) -> DiGraph:
+        hub = t % n
+        specs = []
+        for v in range(n):
+            if v != hub:
+                specs.append((hub, v))
+                specs.append((v, hub))
+        return DiGraph(n, specs, ensure_self_loops=True)
+
+    return FunctionDynamicGraph(n, fn)
+
+
+def rooted_tree_dynamic(n: int, seed: int = 0) -> DynamicGraph:
+    """Round ``t``: a random in-tree toward a rotating root, plus the
+    root's broadcast edges — everything funnels through one vertex."""
+    import random
+
+    if n < 2:
+        raise ValueError("need n >= 2")
+
+    def fn(t: int) -> DiGraph:
+        rng = random.Random(hash((seed, t)) & 0x7FFFFFFF)
+        root = t % n
+        order = [v for v in range(n) if v != root]
+        rng.shuffle(order)
+        specs = []
+        placed = [root]
+        for v in order:
+            parent = rng.choice(placed)
+            specs.append((v, parent))  # toward the root
+            placed.append(v)
+        for v in range(n):
+            if v != root:
+                specs.append((root, v))  # root broadcasts back out
+        return DiGraph(n, specs, ensure_self_loops=True)
+
+    return FunctionDynamicGraph(n, fn)
+
+
+def bottleneck_dynamic(n: int, bridge_every: int = 3) -> DynamicGraph:
+    """Two bidirectional cliques; the single bridge is up every ``k`` rounds."""
+    if n < 4:
+        raise ValueError("need n >= 4 for two nontrivial cliques")
+    if bridge_every < 1:
+        raise ValueError("bridge_every must be >= 1")
+    half = n // 2
+
+    def fn(t: int) -> DiGraph:
+        specs = []
+        for block in (range(half), range(half, n)):
+            block = list(block)
+            for i in block:
+                for j in block:
+                    if i != j:
+                        specs.append((i, j))
+        if t % bridge_every == 0:
+            specs.append((half - 1, half))
+            specs.append((half, half - 1))
+        return DiGraph(n, specs, ensure_self_loops=True)
+
+    return FunctionDynamicGraph(n, fn)

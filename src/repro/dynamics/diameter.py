@@ -1,0 +1,53 @@
+"""Dynamic diameter (Section 2.1).
+
+``D`` is the smallest integer such that *every* window
+``𝔾(t) ∘ ... ∘ 𝔾(t+D-1)`` is the complete graph — i.e. from every round,
+every agent's information reaches every other within ``D`` rounds.  On an
+infinite object this can only be certified over a horizon; callers state
+how far they have looked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.products import graph_product
+from repro.graphs.properties import is_complete
+from repro.dynamics.dynamic_graph import DynamicGraph
+
+
+def window_to_completeness(dg: DynamicGraph, start: int, max_length: int) -> Optional[int]:
+    """The least ``L`` with ``𝔾(start) ∘ ... ∘ 𝔾(start+L-1)`` complete.
+
+    Returns ``None`` if no window of length up to ``max_length`` suffices.
+    """
+    acc = None
+    for length in range(1, max_length + 1):
+        g = dg.graph_at(start + length - 1)
+        acc = g if acc is None else graph_product(acc, g)
+        if is_complete(acc):
+            return length
+    return None
+
+
+def dynamic_diameter(dg: DynamicGraph, horizon: int, max_diameter: Optional[int] = None) -> int:
+    """The dynamic diameter certified over starts ``1 .. horizon``.
+
+    Returns the max over ``t ≤ horizon`` of the window length needed from
+    round ``t``.  Raises ``ValueError`` when some window never completes
+    within ``max_diameter`` (default ``4·n·horizon`` as a generous cap) —
+    i.e. the graph does not *appear* to have a finite dynamic diameter.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    cap = max_diameter if max_diameter is not None else 4 * dg.n * max(horizon, 1) + 4
+    worst = 1
+    for t in range(1, horizon + 1):
+        length = window_to_completeness(dg, t, cap)
+        if length is None:
+            raise ValueError(
+                f"no complete window of length <= {cap} from round {t}; "
+                "dynamic diameter looks infinite"
+            )
+        worst = max(worst, length)
+    return worst

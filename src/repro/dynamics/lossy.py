@@ -1,0 +1,67 @@
+"""Failure injection: random per-round link loss.
+
+The paper's channels are reliable, but its *dynamic graph* abstraction
+already absorbs message loss: a dropped message in round ``t`` is simply
+an edge absent from ``𝔾(t)``.  This wrapper makes that concrete — every
+non-self-loop edge of the base graph is dropped independently with a
+fixed probability each round (deterministically, given the seed).
+
+As long as the loss rate leaves the composed windows complete, the
+dynamic diameter stays finite (if larger) and *every* algorithm in this
+library keeps its guarantees unchanged — a robustness statement the tests
+exercise directly.  Symmetric loss (``preserve_symmetry=True``) drops
+each bidirectional pair together, keeping the graph in the symmetric
+class for the symmetric-model algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.digraph import DiGraph
+from repro.dynamics.dynamic_graph import DynamicGraph
+
+
+class LossyDynamicGraph(DynamicGraph):
+    """Drop each (non-self-loop) edge independently per round."""
+
+    def __init__(
+        self,
+        base: DynamicGraph,
+        loss_probability: float,
+        seed: int = 0,
+        preserve_symmetry: bool = False,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.base = base
+        self.loss_probability = loss_probability
+        self.seed = seed
+        self.preserve_symmetry = preserve_symmetry
+        self.n = base.n
+
+    def graph_at(self, t: int) -> DiGraph:
+        self._check_round(t)
+        g = self.base.graph_at(t)
+        rng = random.Random(hash((self.seed, t)) & 0x7FFFFFFF)
+        if self.preserve_symmetry:
+            doomed_pairs = set()
+            for e in g.edges:
+                if e.source == e.target:
+                    continue
+                pair = (min(e.source, e.target), max(e.source, e.target))
+                if pair not in doomed_pairs and rng.random() < self.loss_probability:
+                    doomed_pairs.add(pair)
+            specs = [
+                (e.source, e.target, e.color)
+                for e in g.edges
+                if e.source == e.target
+                or (min(e.source, e.target), max(e.source, e.target)) not in doomed_pairs
+            ]
+        else:
+            specs = [
+                (e.source, e.target, e.color)
+                for e in g.edges
+                if e.source == e.target or rng.random() >= self.loss_probability
+            ]
+        return DiGraph(g.n, specs, values=g.values, ensure_self_loops=True)

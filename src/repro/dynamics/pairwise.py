@@ -1,0 +1,42 @@
+"""Pairwise interactions: the population-protocol communication pattern.
+
+The paper observes (§1, footnote 2) that the population-protocol model's
+pairwise interactions correspond to "a dynamic network with symmetric
+communications and vertices of degree zero or one".  This module realizes
+that pattern as a dynamic graph: every round is a random partial matching
+(each agent talks to at most one partner), scheduled so that every pair
+interacts infinitely often.
+
+With a *uniformly random maximal* matching per round, any fixed pair
+meets with probability ≥ 1/n² each round, so over windows of
+O(n² log n) rounds the composition is complete with high probability —
+in practice these graphs have a modest finite dynamic diameter and all
+the symmetric-model algorithms of this library run unchanged on them,
+connecting the paper's framework to population protocols.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.digraph import DiGraph
+from repro.dynamics.dynamic_graph import DynamicGraph, FunctionDynamicGraph
+
+
+def random_matching_dynamic(n: int, seed: int = 0) -> DynamicGraph:
+    """Each round a uniformly random maximal matching (degree ≤ 1)."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+
+    def fn(t: int) -> DiGraph:
+        rng = random.Random(hash((seed, t)) & 0x7FFFFFFF)
+        agents = list(range(n))
+        rng.shuffle(agents)
+        specs = []
+        for k in range(0, n - 1, 2):
+            a, b = agents[k], agents[k + 1]
+            specs.append((a, b))
+            specs.append((b, a))
+        return DiGraph(n, specs, ensure_self_loops=True)
+
+    return FunctionDynamicGraph(n, fn)

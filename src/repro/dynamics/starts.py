@@ -1,0 +1,46 @@
+"""Asynchronous starts as a dynamic-graph transformation (§2.2, §5.3).
+
+An execution in which agent ``i`` wakes up at round ``s_i`` is the same as
+a synchronous-start execution over the masked dynamic graph
+
+    Ẽ_t = { (i, j) ∈ E_t : i = j  ∨  t ≥ max(s_i, s_j) },
+
+i.e. sleeping agents keep only their self-loop.  If the underlying graph
+has dynamic diameter ``D``, the masked graph has dynamic diameter at most
+``max(s_i) + D``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.dynamics.dynamic_graph import DynamicGraph
+
+
+class AsynchronousStartGraph(DynamicGraph):
+    """The masked dynamic graph ``𝔾̃`` induced by per-agent start rounds."""
+
+    def __init__(self, base: DynamicGraph, start_rounds: Sequence[int]):
+        if len(start_rounds) != base.n:
+            raise ValueError(f"need one start round per agent, got {len(start_rounds)} for {base.n}")
+        if any(s < 1 for s in start_rounds):
+            raise ValueError("start rounds are numbered from 1")
+        self.base = base
+        self.start_rounds = tuple(start_rounds)
+        self.n = base.n
+
+    def graph_at(self, t: int) -> DiGraph:
+        self._check_round(t)
+        g = self.base.graph_at(t)
+        specs = []
+        for e in g.edges:
+            if e.source == e.target or t >= max(
+                self.start_rounds[e.source], self.start_rounds[e.target]
+            ):
+                specs.append((e.source, e.target, e.color))
+        return DiGraph(g.n, specs, values=g.values, ensure_self_loops=True)
+
+    @property
+    def latest_start(self) -> int:
+        return max(self.start_rounds)

@@ -1,0 +1,103 @@
+"""Beyond finite dynamic diameter: the §6 connectivity questions, runnable.
+
+The paper's concluding remarks ask which computability results survive
+when the network, "while never becoming permanently split", does *not*
+have a finite dynamic diameter — the regime of Moreau's theorem, standard
+when studying natural systems.  This module provides:
+
+* :func:`growing_gap_dynamic` — a dynamic graph whose connected "pulses"
+  are separated by ever-longer silent stretches: every pair of agents
+  still communicates infinitely often (never permanently split) but the
+  window needed for completeness from round ``t`` grows without bound, so
+  the dynamic diameter is infinite;
+* :func:`eventually_split_dynamic` — the true negative control: two halves
+  that stop talking after a cutoff round (permanently split);
+* :func:`certify_unbounded_diameter` — checks, over a horizon, that the
+  windows-to-completeness really do grow.
+
+The accompanying tests demonstrate the paper's expectations: gossip (a
+monotone flood) and Metropolis (covered by Moreau's theorem for symmetric
+models) still converge under growing gaps, Push-Sum still converges there
+too (its correctness needs mass mixing, which infinitely-recurrent
+connectivity provides, only the *rate* bound is lost), and everything
+fails on a permanent split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graphs.builders import random_symmetric_connected
+from repro.graphs.digraph import DiGraph
+from repro.dynamics.dynamic_graph import DynamicGraph, FunctionDynamicGraph
+from repro.dynamics.diameter import window_to_completeness
+
+
+def growing_gap_dynamic(
+    n: int,
+    seed: int = 0,
+    extra_edge_prob: float = 0.2,
+) -> DynamicGraph:
+    """Connected pulses at rounds 1, 4, 9, 16, ... — quiet in between.
+
+    From any round ``t``, completeness waits for the next perfect-square
+    pulse, so the needed window grows like ``√t``: the dynamic diameter is
+    infinite, yet no pair of agents is ever permanently cut off (pulses
+    recur forever) — exactly the "never permanently split, no finite
+    dynamic diameter" regime of §6.
+    """
+    quiet = DiGraph(n, [], ensure_self_loops=True)
+
+    def fn(t: int) -> DiGraph:
+        root = int(t ** 0.5)
+        if root * root == t or (root + 1) * (root + 1) == t:
+            return random_symmetric_connected(n, extra_edge_prob, seed=hash((seed, t)) & 0x7FFFFFFF)
+        return quiet
+
+    return FunctionDynamicGraph(n, fn)
+
+
+def eventually_split_dynamic(
+    n: int,
+    split_at: int,
+    seed: int = 0,
+) -> DynamicGraph:
+    """Fully connected until ``split_at``, then two silent halves forever.
+
+    The negative control: after the cutoff the halves are *permanently*
+    split, so nothing global is computable from then on — information
+    frozen at the cutoff is all the agents will ever share.
+    """
+    if n < 2:
+        raise ValueError("a split needs at least two agents")
+    half = n // 2
+
+    def fn(t: int) -> DiGraph:
+        if t < split_at:
+            return random_symmetric_connected(n, 0.3, seed=hash((seed, t)) & 0x7FFFFFFF)
+        specs = []
+        for block in (range(half), range(half, n)):
+            block = list(block)
+            for i in range(len(block)):
+                a, b = block[i], block[(i + 1) % len(block)]
+                if a != b:
+                    specs.append((a, b))
+                    specs.append((b, a))
+        return DiGraph(n, sorted(set(specs)), ensure_self_loops=True)
+
+    return FunctionDynamicGraph(n, fn)
+
+
+def certify_unbounded_diameter(
+    dg: DynamicGraph, starts: List[int], cap: int = 512
+) -> Optional[List[int]]:
+    """Windows-to-completeness from each start round, or ``None`` if some
+    window never completes within ``cap`` (which for a growing-gap graph
+    means the probe outgrew the cap, not a split)."""
+    windows = []
+    for t in starts:
+        w = window_to_completeness(dg, t, cap)
+        if w is None:
+            return None
+        windows.append(w)
+    return windows

@@ -1,0 +1,40 @@
+"""Graph fibrations: morphisms, fibres, minimum bases, and lifting.
+
+This subpackage implements Section 3 of the paper: graph morphisms and
+fibrations between valued/colored multigraphs (:mod:`.morphism`,
+:mod:`.fibration`), the minimum base and the coarsest-equitable-partition
+construction behind it (:mod:`.minimum_base`), fibration-primality
+(:mod:`.prime`), and the state/valuation lifting used by the Lifting lemma
+(:mod:`.lifting`).
+"""
+
+from repro.fibrations.morphism import GraphMorphism, morphism_from_vertex_map
+from repro.fibrations.fibration import (
+    fibres,
+    is_covering,
+    is_fibration,
+    ring_collapse,
+)
+from repro.fibrations.minimum_base import (
+    equitable_partition,
+    minimum_base,
+    MinimumBase,
+)
+from repro.fibrations.prime import is_fibration_prime
+from repro.fibrations.lifting import lift_valuation, lift_global_state, lifted_function
+
+__all__ = [
+    "GraphMorphism",
+    "MinimumBase",
+    "equitable_partition",
+    "fibres",
+    "is_covering",
+    "is_fibration",
+    "is_fibration_prime",
+    "lift_global_state",
+    "lift_valuation",
+    "lifted_function",
+    "minimum_base",
+    "morphism_from_vertex_map",
+    "ring_collapse",
+]

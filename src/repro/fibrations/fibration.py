@@ -1,0 +1,124 @@
+"""Fibration checking, fibres, coverings, and the ring collapse of §4.1.
+
+A fibration ``φ : G -> B`` is a morphism with *unique edge lifting*: for
+every edge ``e`` of ``B`` and every vertex ``i`` of ``G`` with
+``φ(i) = t(e)``, exactly one edge of ``G`` with target ``i`` maps to ``e``.
+Following the paper we restrict fibrations to epimorphisms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.builders import bidirectional_ring, directed_ring
+from repro.fibrations.morphism import GraphMorphism
+from repro.fibrations.minimum_base import quotient_by_partition
+
+
+def is_fibration(phi: GraphMorphism, require_epi: bool = True) -> bool:
+    """True iff the (valid) morphism has the unique-lifting property."""
+    if not phi.is_valid():
+        return False
+    if require_epi and not phi.is_epimorphism():
+        return False
+    g, b = phi.source_graph, phi.target_graph
+    # For each vertex i of G, the edge map restricted to in-edges of i must
+    # be a bijection onto the in-edges of φ(i).
+    for i in g.vertices():
+        images = [phi.edge_map[e.index] for e in g.in_edges(i)]
+        expected = [e.index for e in b.in_edges(phi(i))]
+        if Counter(images) != Counter(expected) or len(set(images)) != len(images):
+            return False
+    return True
+
+
+def fibres(phi: GraphMorphism) -> Dict[int, List[int]]:
+    """``fibres(φ)[j]`` = sorted list of G-vertices mapped to base vertex ``j``."""
+    out: Dict[int, List[int]] = defaultdict(list)
+    for v in phi.source_graph.vertices():
+        out[phi(v)].append(v)
+    return {j: sorted(vs) for j, vs in out.items()}
+
+
+def is_covering(phi: GraphMorphism) -> bool:
+    """True iff ``φ`` also has unique lifting of *out*-edges.
+
+    With output-port awareness every fibration is a covering (Section 4.3),
+    which forces all fibres to have the same cardinality.
+    """
+    if not is_fibration(phi):
+        return False
+    g, b = phi.source_graph, phi.target_graph
+    for i in g.vertices():
+        images = [phi.edge_map[e.index] for e in g.out_edges(i)]
+        expected = [e.index for e in b.out_edges(phi(i))]
+        if Counter(images) != Counter(expected) or len(set(images)) != len(images):
+            return False
+    return True
+
+
+def _direction_colored_ring(n: int, directed: bool) -> DiGraph:
+    """A ring whose edges are colored by direction — a rotation-invariant
+    local output labelling (port 0 = clockwise, port 1 = counterclockwise,
+    port 2 = self-loop), as required for the collapse to preserve ports."""
+    ring = directed_ring(n) if directed else bidirectional_ring(n)
+
+    def direction(e) -> int:
+        if e.source == e.target:
+            return 2
+        if e.target == (e.source + 1) % n:
+            return 0
+        return 1
+
+    return ring.with_colors(direction)
+
+
+def ring_collapse(
+    n: int,
+    p: int,
+    directed: bool = False,
+    with_ports: bool = False,
+    with_outdegrees: bool = False,
+    base_values: Optional[List] = None,
+) -> GraphMorphism:
+    """The fibration ``R_n -> R_p`` of the impossibility proof (§4.1).
+
+    Requires ``p`` to divide ``n``.  The vertex map is ``i ↦ i mod p`` and
+    the base is the corresponding quotient multigraph (for ``p <= 2`` the
+    quotient of a bidirectional ring has parallel edges; that is the correct
+    base, faithful to the proof, rather than the simple ring ``R_p``).
+
+    With ``with_ports`` both graphs carry a rotation-invariant port coloring
+    (by direction), which the collapse preserves; with ``with_outdegrees``
+    both carry the outdegree valuation.  ``base_values`` optionally assigns
+    input values to the base ring, lifted to the big ring — this is how the
+    counterexample input pairs ``(v, w)`` with equal frequency vectors are
+    produced.
+    """
+    if p <= 0 or n % p != 0:
+        raise ValueError(f"ring collapse needs p | n, got n={n}, p={p}")
+    big = _direction_colored_ring(n, directed) if with_ports else (
+        directed_ring(n) if directed else bidirectional_ring(n)
+    )
+    values: Optional[List] = None
+    if with_outdegrees:
+        values = [big.outdegree(v) for v in big.vertices()]
+    if base_values is not None:
+        if len(base_values) != p:
+            raise ValueError(f"base_values must have length p={p}")
+        lifted = [base_values[i % p] for i in range(n)]
+        if values is None:
+            values = lifted
+        else:
+            values = [(a, b) for a, b in zip(lifted, values)]
+    if values is not None:
+        big = big.with_values(values)
+    classes = [i % p for i in range(n)]
+    return quotient_by_partition(big, classes).fibration
+
+
+def port_preserving_ring_collapse(n: int, p: int) -> GraphMorphism:
+    """Shorthand for the colored collapse used against output-port awareness."""
+    return ring_collapse(n, p, with_ports=True)

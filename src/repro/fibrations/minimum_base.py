@@ -1,0 +1,153 @@
+"""Minimum bases via the coarsest equitable partition (Section 3.2).
+
+A graph is *fibration prime* when its only fibrations are isomorphisms;
+every graph has a unique (up to isomorphism) fibration-prime base, its
+*minimum base*.  Two vertices of ``G`` collapse onto the same base vertex
+exactly when they have the same infinite in-view — equivalently, when they
+lie in the same class of the coarsest partition of ``V(G)`` that is
+
+* compatible with the vertex valuation, and
+* *equitable for in-neighborhoods*: any two vertices of a class have, for
+  every class ``c`` and color ``k``, the same number of in-edges colored
+  ``k`` whose source lies in ``c``.
+
+This module computes that partition by iterated refinement, builds the
+quotient multigraph, and packages the projection as an explicit fibration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.fibrations.morphism import GraphMorphism, morphism_from_vertex_map
+
+
+def equitable_partition(g: DiGraph) -> List[int]:
+    """The coarsest in-equitable partition refining the valuation.
+
+    Returns a class id per vertex; ids are *canonical*: classes are numbered
+    by the sorted order of their stable signatures, so isomorphic graphs get
+    identical id sequences up to the isomorphism.
+    """
+    classes = _initial_classes(g)
+    while True:
+        signatures = []
+        for v in g.vertices():
+            in_sig = Counter((classes[e.source], repr(e.color)) for e in g.in_edges(v))
+            signatures.append((classes[v], tuple(sorted(in_sig.items()))))
+        palette: Dict[object, int] = {}
+        for s in sorted(set(signatures)):
+            palette[s] = len(palette)
+        new_classes = [palette[s] for s in signatures]
+        if _same_partition(classes, new_classes):
+            return new_classes
+        classes = new_classes
+
+
+def _initial_classes(g: DiGraph) -> List[int]:
+    keys = [repr(g.value(v)) for v in g.vertices()]
+    palette: Dict[str, int] = {}
+    for k in sorted(set(keys)):
+        palette[k] = len(palette)
+    return [palette[k] for k in keys]
+
+
+def _same_partition(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Do two labelings induce the same partition (ignoring label names)?"""
+    fwd: Dict[int, int] = {}
+    bwd: Dict[int, int] = {}
+    for x, y in zip(a, b):
+        if fwd.setdefault(x, y) != y or bwd.setdefault(y, x) != x:
+            return False
+    return True
+
+
+class MinimumBase:
+    """The result of a minimum-base computation.
+
+    Attributes
+    ----------
+    base:
+        The quotient multigraph ``B`` (valued/colored like ``G``).
+    fibration:
+        The projection ``φ : G -> B`` as a validated fibration.
+    classes:
+        Class id per ``G``-vertex; class ids are the ``B``-vertex ids.
+    fibre_sizes:
+        ``fibre_sizes[j]`` = cardinality of ``φ⁻¹(j)``.
+    """
+
+    __slots__ = ("base", "fibration", "classes", "fibre_sizes")
+
+    def __init__(self, base: DiGraph, fibration: GraphMorphism, classes: List[int]):
+        self.base = base
+        self.fibration = fibration
+        self.classes = classes
+        sizes = [0] * base.n
+        for c in classes:
+            sizes[c] += 1
+        self.fibre_sizes = sizes
+
+    def fibre(self, base_vertex: int) -> List[int]:
+        return [v for v, c in enumerate(self.classes) if c == base_vertex]
+
+    def __repr__(self) -> str:
+        return f"MinimumBase({self.fibration.source_graph.n} vertices -> {self.base.n} classes)"
+
+
+def quotient_by_partition(g: DiGraph, classes: Sequence[int]) -> MinimumBase:
+    """Quotient ``g`` by an *equitable* partition; raises if not equitable.
+
+    The quotient has one vertex per class; its in-edges at class ``c`` are
+    the in-edges of an (arbitrary, hence any) representative of ``c``, with
+    sources replaced by their classes and colors preserved.
+    """
+    classes = list(classes)
+    if len(classes) != g.n:
+        raise ValueError(f"partition labels {len(classes)} != n {g.n}")
+    ids = sorted(set(classes))
+    if ids != list(range(len(ids))):
+        remap = {old: new for new, old in enumerate(ids)}
+        classes = [remap[c] for c in classes]
+    m = len(set(classes))
+    rep: List[int] = [-1] * m
+    for v in range(g.n - 1, -1, -1):
+        rep[classes[v]] = v
+
+    # Equitability check: within each class, identical in-signatures.
+    for c in range(m):
+        sigs = set()
+        for v in range(g.n):
+            if classes[v] != c:
+                continue
+            sig = tuple(sorted(Counter(
+                (classes[e.source], repr(e.color)) for e in g.in_edges(v)
+            ).items()))
+            sigs.add(sig)
+        if len(sigs) > 1:
+            raise ValueError(f"partition is not equitable at class {c}")
+        # Values must be constant on classes too.
+        vals = {repr(g.value(v)) for v in range(g.n) if classes[v] == c}
+        if len(vals) > 1:
+            raise ValueError(f"partition does not refine the valuation at class {c}")
+
+    specs = []
+    for c in range(m):
+        r = rep[c]
+        for e in g.in_edges(r):
+            specs.append((classes[e.source], c, e.color))
+    values = None
+    if g.values is not None:
+        values = [g.value(rep[c]) for c in range(m)]
+    base = DiGraph(m, specs, values=values)
+    phi = morphism_from_vertex_map(g, base, classes)
+    if phi is None:
+        raise AssertionError("equitable quotient must extend to a fibration")
+    return MinimumBase(base, phi, classes)
+
+
+def minimum_base(g: DiGraph) -> MinimumBase:
+    """The minimum base of ``g`` with its projection fibration."""
+    return quotient_by_partition(g, equitable_partition(g))

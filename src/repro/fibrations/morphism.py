@@ -1,0 +1,179 @@
+"""Morphisms of valued, colored directed multigraphs (Section 3).
+
+A morphism ``φ : G -> H`` is a pair of maps — one on vertices, one on edges
+— commuting with the source and target functions, and preserving vertex
+values and edge colors when present.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.digraph import DiGraph, Edge
+
+
+class GraphMorphism:
+    """A graph morphism ``φ : G -> H`` given by explicit vertex and edge maps.
+
+    Parameters
+    ----------
+    source_graph, target_graph:
+        Domain ``G`` and codomain ``H``.
+    vertex_map:
+        ``vertex_map[v]`` is ``φ(v)`` for each vertex ``v`` of ``G``.
+    edge_map:
+        ``edge_map[e.index]`` is the index of ``φ(e)`` in ``H`` for each
+        edge ``e`` of ``G``.
+
+    ``validate()`` checks the morphism laws; construction does *not*
+    validate so that search code can build candidates cheaply.
+    """
+
+    __slots__ = ("source_graph", "target_graph", "vertex_map", "edge_map")
+
+    def __init__(
+        self,
+        source_graph: DiGraph,
+        target_graph: DiGraph,
+        vertex_map: Sequence[int],
+        edge_map: Sequence[int],
+    ):
+        self.source_graph = source_graph
+        self.target_graph = target_graph
+        self.vertex_map: Tuple[int, ...] = tuple(vertex_map)
+        self.edge_map: Tuple[int, ...] = tuple(edge_map)
+
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, vertex: int) -> int:
+        """``φ(vertex)``."""
+        return self.vertex_map[vertex]
+
+    def map_edge(self, edge: Edge) -> Edge:
+        """``φ(edge)`` as an edge of the codomain."""
+        return self.target_graph.edges[self.edge_map[edge.index]]
+
+    def validate(self, check_values: bool = True, check_colors: bool = True) -> List[str]:
+        """All morphism-law violations, as human-readable strings."""
+        g, h = self.source_graph, self.target_graph
+        problems: List[str] = []
+        if len(self.vertex_map) != g.n:
+            problems.append(f"vertex map has {len(self.vertex_map)} entries for {g.n} vertices")
+            return problems
+        if len(self.edge_map) != g.num_edges:
+            problems.append(f"edge map has {len(self.edge_map)} entries for {g.num_edges} edges")
+            return problems
+        for v in g.vertices():
+            if not (0 <= self.vertex_map[v] < h.n):
+                problems.append(f"vertex {v} maps outside codomain")
+        for e in g.edges:
+            img_idx = self.edge_map[e.index]
+            if not (0 <= img_idx < h.num_edges):
+                problems.append(f"edge {e} maps outside codomain")
+                continue
+            img = h.edges[img_idx]
+            if img.source != self.vertex_map[e.source]:
+                problems.append(f"edge {e}: source not commuted ({img.source} != φ({e.source}))")
+            if img.target != self.vertex_map[e.target]:
+                problems.append(f"edge {e}: target not commuted ({img.target} != φ({e.target}))")
+            if check_colors and repr(img.color) != repr(e.color):
+                problems.append(f"edge {e}: color {e.color!r} not preserved (image has {img.color!r})")
+        if check_values and g.values is not None and h.values is not None:
+            for v in g.vertices():
+                if repr(g.value(v)) != repr(h.value(self.vertex_map[v])):
+                    problems.append(
+                        f"vertex {v}: value {g.value(v)!r} != codomain value {h.value(self.vertex_map[v])!r}"
+                    )
+        return problems
+
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    def is_epimorphism(self) -> bool:
+        """Surjective on both vertices and edges (the paper's convention)."""
+        return (
+            set(self.vertex_map) == set(self.target_graph.vertices())
+            and set(self.edge_map) == set(range(self.target_graph.num_edges))
+        )
+
+    def is_isomorphism(self) -> bool:
+        return (
+            len(set(self.vertex_map)) == self.source_graph.n == self.target_graph.n
+            and len(set(self.edge_map)) == self.source_graph.num_edges == self.target_graph.num_edges
+        )
+
+    def compose(self, other: "GraphMorphism") -> "GraphMorphism":
+        """``other ∘ self`` — first apply ``self``, then ``other``."""
+        if self.target_graph is not other.source_graph and self.target_graph != other.source_graph:
+            raise ValueError("composition mismatch: self's codomain is not other's domain")
+        vmap = [other.vertex_map[x] for x in self.vertex_map]
+        emap = [other.edge_map[x] for x in self.edge_map]
+        return GraphMorphism(self.source_graph, other.target_graph, vmap, emap)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphMorphism({self.source_graph.n} -> {self.target_graph.n} vertices, "
+            f"{self.source_graph.num_edges} -> {self.target_graph.num_edges} edges)"
+        )
+
+
+def _match_in_edges(
+    g: DiGraph,
+    h: DiGraph,
+    vmap: Sequence[int],
+    vertex: int,
+) -> Optional[Dict[int, int]]:
+    """Biject ``vertex``'s in-edges with its image's in-edges, respecting φ.
+
+    An in-edge ``(u, vertex)`` with color ``c`` can only map to an in-edge
+    ``(φ(u), φ(vertex))`` with color ``c``.  Both sides are grouped by the
+    key ``(source class, color)``; a bijection exists iff the grouped
+    multiplicities agree, in which case pairing within each group is
+    arbitrary (done in deterministic order).
+
+    Returns ``{g_edge_index: h_edge_index}`` or ``None``.
+    """
+    image = vmap[vertex]
+    mine: Dict[Tuple[int, str], List[int]] = defaultdict(list)
+    for e in g.in_edges(vertex):
+        mine[(vmap[e.source], repr(e.color))].append(e.index)
+    theirs: Dict[Tuple[int, str], List[int]] = defaultdict(list)
+    for e in h.in_edges(image):
+        theirs[(e.source, repr(e.color))].append(e.index)
+    if set(mine) != set(theirs):
+        return None
+    pairing: Dict[int, int] = {}
+    for key, g_edges in mine.items():
+        h_edges = theirs[key]
+        if len(g_edges) != len(h_edges):
+            return None
+        for ge, he in zip(sorted(g_edges), sorted(h_edges)):
+            pairing[ge] = he
+    return pairing
+
+
+def morphism_from_vertex_map(
+    g: DiGraph,
+    h: DiGraph,
+    vertex_map: Sequence[int],
+) -> Optional[GraphMorphism]:
+    """Extend a vertex map to a *fibration* ``g -> h``, if possible.
+
+    The unique-lifting property of fibrations forces the edge map on each
+    vertex's in-edges to be a bijection onto the image vertex's in-edges;
+    this routine constructs exactly such an edge map (grouped by source
+    class and color) and returns ``None`` when none exists — i.e. when the
+    vertex map is not fibration-compatible.
+    """
+    if len(vertex_map) != g.n:
+        raise ValueError(f"vertex map has {len(vertex_map)} entries for {g.n} vertices")
+    edge_map: List[Optional[int]] = [None] * g.num_edges
+    for v in g.vertices():
+        pairing = _match_in_edges(g, h, vertex_map, v)
+        if pairing is None:
+            return None
+        for ge, he in pairing.items():
+            edge_map[ge] = he
+    assert None not in edge_map, "every edge is an in-edge of its target"
+    return GraphMorphism(g, h, vertex_map, [e for e in edge_map if e is not None])

@@ -1,0 +1,16 @@
+"""Fibration primality (Section 3.2).
+
+A graph is fibration prime iff every fibration out of it is an isomorphism
+— equivalently, iff its coarsest in-equitable partition is discrete, i.e.
+its minimum base is itself.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+from repro.fibrations.minimum_base import equitable_partition
+
+
+def is_fibration_prime(g: DiGraph) -> bool:
+    """True iff ``g`` cannot be collapsed onto a smaller base."""
+    return len(set(equitable_partition(g))) == g.n

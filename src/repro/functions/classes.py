@@ -1,0 +1,190 @@
+"""The three function classes and their wrappers (§2.3).
+
+``set-based ⊊ frequency-based ⊊ multiset-based``: a function of arbitrary
+arity is *set-based* when its value depends only on the set of its
+arguments, *frequency-based* when it depends only on their frequency
+function, and *multiset-based* (symmetric) when it depends only on their
+multiset.  The wrappers below build functions that are in a class *by
+construction*; :func:`is_class_empirically` probes an arbitrary callable.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from typing import Any, Callable, FrozenSet, List, Optional, Sequence
+
+from repro.functions.frequency import FrequencyFunction, frequencies_of
+
+
+class FunctionClass(enum.Enum):
+    """The function-class lattice used throughout Tables 1 and 2.
+
+    ``NONE`` is the bottom element used by the computability oracle for
+    "nothing beyond constants"; it never labels a real function here but
+    keeps the lattice total.
+    """
+
+    NONE = 0
+    SET_BASED = 1
+    FREQUENCY_BASED = 2
+    MULTISET_BASED = 3
+
+    def __le__(self, other: "FunctionClass") -> bool:
+        if not isinstance(other, FunctionClass):
+            return NotImplemented
+        return self.value <= other.value
+
+    def __lt__(self, other: "FunctionClass") -> bool:
+        if not isinstance(other, FunctionClass):
+            return NotImplemented
+        return self.value < other.value
+
+    def contains(self, other: "FunctionClass") -> bool:
+        """A *larger* class contains more functions: X ⊆ Y iff X ≤ Y."""
+        return other.value <= self.value
+
+    @property
+    def label(self) -> str:
+        return {
+            FunctionClass.NONE: "none",
+            FunctionClass.SET_BASED: "set-based",
+            FunctionClass.FREQUENCY_BASED: "frequency-based",
+            FunctionClass.MULTISET_BASED: "multiset-based",
+        }[self]
+
+
+class NamedFunction:
+    """A distributed function with its declared class, ready for experiments.
+
+    Calling it on a vector of input values returns the target value.  The
+    ``declared_class`` is the *smallest* class containing the function —
+    e.g. the sum is multiset-based but not frequency-based.
+    """
+
+    __slots__ = ("name", "fn", "declared_class", "numeric")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Sequence[Any]], Any],
+        declared_class: FunctionClass,
+        numeric: bool = True,
+    ):
+        self.name = name
+        self.fn = fn
+        self.declared_class = declared_class
+        self.numeric = numeric
+
+    def __call__(self, vector: Sequence[Any]) -> Any:
+        if not vector:
+            raise ValueError(f"{self.name} of an empty input is undefined")
+        return self.fn(vector)
+
+    def __repr__(self) -> str:
+        return f"NamedFunction({self.name}, {self.declared_class.label})"
+
+
+def set_based(name: str, on_set: Callable[[FrozenSet[Any]], Any], numeric: bool = True) -> NamedFunction:
+    """A function of the *set* of arguments — set-based by construction."""
+
+    def fn(vector: Sequence[Any]) -> Any:
+        return on_set(frozenset(vector))
+
+    return NamedFunction(name, fn, FunctionClass.SET_BASED, numeric)
+
+
+def frequency_based(
+    name: str, on_freq: Callable[[FrequencyFunction], Any], numeric: bool = True
+) -> NamedFunction:
+    """A function of the frequency function — frequency-based by construction."""
+
+    def fn(vector: Sequence[Any]) -> Any:
+        return on_freq(frequencies_of(vector))
+
+    return NamedFunction(name, fn, FunctionClass.FREQUENCY_BASED, numeric)
+
+
+def multiset_based(name: str, on_multiset: Callable[[Counter], Any], numeric: bool = True) -> NamedFunction:
+    """A function of the multiset of arguments — multiset-based by construction."""
+
+    def fn(vector: Sequence[Any]) -> Any:
+        return on_multiset(Counter(vector))
+
+    return NamedFunction(name, fn, FunctionClass.MULTISET_BASED, numeric)
+
+
+# --------------------------------------------------------------------- #
+# Empirical classification
+# --------------------------------------------------------------------- #
+
+def _random_vector(domain: Sequence[Any], n: int, rng: random.Random) -> List[Any]:
+    return [rng.choice(list(domain)) for _ in range(n)]
+
+
+def is_class_empirically(
+    f: Callable[[Sequence[Any]], Any],
+    klass: FunctionClass,
+    domain: Sequence[Any],
+    max_n: int = 6,
+    samples: int = 200,
+    seed: int = 0,
+) -> bool:
+    """Probe whether ``f`` looks like a member of ``klass``.
+
+    For each sampled vector the probe builds a second vector that is
+    equivalent at the level ``klass`` demands (same support / same
+    frequencies / a permutation) and checks the outputs agree.  A ``False``
+    answer is a *proof* of non-membership (a counterexample was found); a
+    ``True`` answer is only evidence.
+    """
+    rng = random.Random(seed)
+    domain = list(domain)
+    for _ in range(samples):
+        n = rng.randint(1, max_n)
+        v = _random_vector(domain, n, rng)
+        if klass is FunctionClass.MULTISET_BASED:
+            w = list(v)
+            rng.shuffle(w)
+        elif klass is FunctionClass.FREQUENCY_BASED:
+            # Repeat the whole vector a random number of times (same
+            # frequencies, different multiplicities), then shuffle.
+            reps = rng.randint(1, 3)
+            w = list(v) * reps
+            rng.shuffle(w)
+        elif klass is FunctionClass.SET_BASED:
+            # Rebuild with random positive multiplicities per support value.
+            support = sorted(set(v), key=repr)
+            w = []
+            for value in support:
+                w.extend([value] * rng.randint(1, 3))
+            rng.shuffle(w)
+        else:
+            raise ValueError(f"cannot probe class {klass}")
+        if repr(f(v)) != repr(f(w)):
+            return False
+    return True
+
+
+def smallest_class_empirically(
+    f: Callable[[Sequence[Any]], Any],
+    domain: Sequence[Any],
+    max_n: int = 6,
+    samples: int = 200,
+    seed: int = 0,
+) -> Optional[FunctionClass]:
+    """The smallest class ``f`` appears to belong to, or ``None``.
+
+    ``None`` means not even multiset-based, i.e. the function depends on
+    argument order and is uncomputable in any anonymous network class
+    (Lemma 3.3).
+    """
+    for klass in (
+        FunctionClass.SET_BASED,
+        FunctionClass.FREQUENCY_BASED,
+        FunctionClass.MULTISET_BASED,
+    ):
+        if is_class_empirically(f, klass, domain, max_n, samples, seed):
+            return klass
+    return None

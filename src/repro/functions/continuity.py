@@ -1,0 +1,72 @@
+"""δ-continuity in frequency (§5.4).
+
+A frequency-based ``f`` is *continuous in frequency* when, for any sequence
+of vectors whose per-value frequencies converge to a frequency function
+``ν*``, the outputs converge (in ``(X, δ)``) to ``f(⟨ν*⟩)``.  Without a
+bound on the network size, Push-Sum only yields *approximate* frequencies,
+so only such functions are computable (Corollary 5.5).
+
+Continuity of an arbitrary callable is undecidable; this module provides an
+empirical refuter: it synthesizes rational frequency sequences converging
+to a target and checks output convergence.  ``False`` is a counterexample,
+``True`` is evidence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Sequence
+
+from repro.functions.frequency import FrequencyFunction
+
+
+def _perturbed_realization(
+    target: FrequencyFunction, denom: int, rng: random.Random, side: int
+) -> List[Any]:
+    """A vector whose frequencies are within O(1/denom) of ``target``.
+
+    Multiplicities are the rounded ``ν(ω)·denom``, then the first support
+    value is nudged by ``side`` (±1) so successive realizations *straddle*
+    the target — which is what exposes threshold discontinuities — and the
+    remainder patched onto a random other value.
+    """
+    support = target.support()
+    mults = [int(round(float(target[v]) * denom)) or 1 for v in support]
+    if len(support) > 1:
+        mults[0] = max(1, mults[0] + side)
+        drift = denom - sum(mults)
+        k = rng.randrange(1, len(support))
+        mults[k] = max(1, mults[k] + drift)
+    out: List[Any] = []
+    for value, m in zip(support, mults):
+        out.extend([value] * m)
+    return out
+
+
+def is_continuous_in_frequency_empirically(
+    f: Callable[[Sequence[Any]], Any],
+    target: FrequencyFunction,
+    metric: Callable[[Any, Any], float],
+    tolerance: float = 1e-6,
+    start_denominator: int = 64,
+    doublings: int = 10,
+    seed: int = 0,
+) -> bool:
+    """Probe continuity of ``f`` at the frequency function ``target``.
+
+    Evaluates ``f`` on realizations whose frequencies approach ``target``
+    at denominators ``start_denominator · 2^k`` and checks that the metric
+    distance to ``f(⟨target⟩)`` eventually stays below ``tolerance``.
+    """
+    rng = random.Random(seed)
+    expected = f(target.canonical_vector())
+    denom = start_denominator
+    distances = []
+    for k in range(doublings):
+        side = 1 if k % 2 == 0 else -1
+        vec = _perturbed_realization(target, denom, rng, side)
+        distances.append(metric(f(vec), expected))
+        denom *= 2
+    # Converged when the tail is within tolerance.
+    tail = distances[-3:]
+    return all(d <= tolerance for d in tail)

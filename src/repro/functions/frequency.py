@@ -1,0 +1,137 @@
+"""Frequency functions ``ν_v`` and canonical frequenced vectors (§2.3).
+
+A *frequency function* on a value domain ``Ω`` assigns a nonnegative
+rational to each value, positively to finitely many, summing to 1.  Every
+input vector ``v ∈ Ωⁿ`` induces one (``ν_v(ω)`` = multiplicity of ``ω``
+divided by ``n``), and conversely every frequency function is realized by a
+canonical smallest vector ``⟨ν⟩`` whose length is the lcm of the reduced
+denominators.  Two vectors are *equivalent in frequency* iff they induce
+the same frequency function — the equivalence at the heart of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from fractions import Fraction
+from math import gcd
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)
+
+
+class FrequencyFunction:
+    """An immutable frequency function with finite support.
+
+    Construct from a mapping ``{value: Fraction-like}``; entries must be
+    nonnegative and sum to exactly 1 (exact rational arithmetic, no
+    tolerance).  Zero entries are dropped.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: Mapping[Any, Any]):
+        clean: Dict[Any, Fraction] = {}
+        for value, freq in table.items():
+            f = Fraction(freq)
+            if f < 0:
+                raise ValueError(f"negative frequency {f} for value {value!r}")
+            if f > 0:
+                clean[value] = f
+        if sum(clean.values(), Fraction(0)) != 1:
+            raise ValueError(f"frequencies must sum to 1, got {sum(clean.values(), Fraction(0))}")
+        self._table = clean
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def of_vector(cls, vector: Sequence[Any]) -> "FrequencyFunction":
+        """``ν_v`` for a nonempty vector ``v``."""
+        if not vector:
+            raise ValueError("frequency function of the empty vector is undefined")
+        counts = Counter(vector)
+        n = len(vector)
+        return cls({value: Fraction(c, n) for value, c in counts.items()})
+
+    def __getitem__(self, value: Any) -> Fraction:
+        """``ν(value)`` — zero outside the support."""
+        return self._table.get(value, Fraction(0))
+
+    def support(self) -> List[Any]:
+        """The values with positive frequency, in sorted-by-repr order."""
+        return sorted(self._table, key=repr)
+
+    def items(self) -> List[Tuple[Any, Fraction]]:
+        return [(v, self._table[v]) for v in self.support()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyFunction):
+            return NotImplemented
+        return self._table == other._table
+
+    def __hash__(self) -> int:
+        return hash(tuple((repr(v), f) for v, f in self.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v!r}: {f}" for v, f in self.items())
+        return f"FrequencyFunction({{{inner}}})"
+
+    # ------------------------------------------------------------------ #
+
+    def minimal_size(self) -> int:
+        """``lcm`` of the reduced denominators — the length of ``⟨ν⟩``."""
+        q = 1
+        for f in self._table.values():
+            q = _lcm(q, f.denominator)
+        return q
+
+    def canonical_vector(self) -> List[Any]:
+        """The paper's ``⟨ν⟩``: the smallest vector with frequencies ``ν``.
+
+        Values appear in sorted-by-repr order, each with multiplicity
+        ``ν(ω) · lcm(denominators)``.
+        """
+        q = self.minimal_size()
+        out: List[Any] = []
+        for value in self.support():
+            mult = self._table[value] * q
+            assert mult.denominator == 1
+            out.extend([value] * int(mult))
+        return out
+
+    def scaled_vector(self, n: int) -> List[Any]:
+        """A length-``n`` vector with frequencies ``ν``; needs ``minimal_size() | n``."""
+        q = self.minimal_size()
+        if n % q != 0:
+            raise ValueError(f"no vector of length {n} has these frequencies (need multiple of {q})")
+        factor = n // q
+        out: List[Any] = []
+        for value in self.support():
+            out.extend([value] * int(self._table[value] * q) * factor)
+        return out
+
+    def multiplicities_for(self, n: int) -> Dict[Any, int]:
+        """Exact multiplicities in a length-``n`` realization."""
+        out = {}
+        for value, f in self.items():
+            m = f * n
+            if m.denominator != 1:
+                raise ValueError(f"frequency {f} not realizable at length {n}")
+            out[value] = int(m)
+        return out
+
+
+def frequencies_of(vector: Sequence[Any]) -> FrequencyFunction:
+    """Convenience alias for :meth:`FrequencyFunction.of_vector`."""
+    return FrequencyFunction.of_vector(vector)
+
+
+def canonical_vector(vector: Sequence[Any]) -> List[Any]:
+    """``⟨ν_v⟩`` — the canonical reduced form of ``v``'s frequency class."""
+    return frequencies_of(vector).canonical_vector()
+
+
+def equivalent_in_frequency(v: Sequence[Any], w: Sequence[Any]) -> bool:
+    """True iff ``ν_v = ν_w`` (the vectors are "ν-frequenced" alike)."""
+    return frequencies_of(v) == frequencies_of(w)

@@ -1,0 +1,165 @@
+"""The concrete distributed functions used by the paper and the benchmarks.
+
+Each entry is a :class:`~repro.functions.classes.NamedFunction` with its
+smallest containing class declared:
+
+* set-based: ``MINIMUM``, ``MAXIMUM``, ``SUPPORT_SET``;
+* frequency-based: ``AVERAGE``, ``frequency_of(ω)``, threshold predicates
+  ``Φ^ω_r``;
+* multiset-based: ``SUM``, ``SIZE`` (the network cardinality ``n``),
+  ``multiplicity_of(ω)``.
+
+``quot_sum`` is the two-argument-per-agent function computed by Push-Sum
+(Section 5.1); it is frequency-based in the pairs ``(v_i, w_i)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from fractions import Fraction
+from typing import Any, Sequence, Tuple
+
+from repro.functions.classes import (
+    FunctionClass,
+    NamedFunction,
+    frequency_based,
+    multiset_based,
+    set_based,
+)
+from repro.functions.frequency import FrequencyFunction
+
+
+MINIMUM = set_based("minimum", min)
+MAXIMUM = set_based("maximum", max)
+SUPPORT_SET = set_based("support-set", lambda s: s, numeric=False)
+
+
+def _average_of_frequencies(nu: FrequencyFunction) -> Fraction:
+    total = Fraction(0)
+    for value, freq in nu.items():
+        total += Fraction(value) * freq
+    return total
+
+
+AVERAGE = frequency_based("average", _average_of_frequencies)
+
+SUM = multiset_based("sum", lambda counts: sum(v * c for v, c in counts.items()))
+SIZE = multiset_based("size", lambda counts: sum(counts.values()))
+
+
+def frequency_of(value: Any) -> NamedFunction:
+    """``v ↦ ν_v(value)`` — the relative frequency of one value."""
+    return frequency_based(f"frequency-of-{value!r}", lambda nu: nu[value])
+
+
+def multiplicity_of(value: Any) -> NamedFunction:
+    """``v ↦`` multiplicity of ``value`` in ``v`` — multiset-based only."""
+    return multiset_based(f"multiplicity-of-{value!r}", lambda counts: counts[value])
+
+
+def threshold_predicate(value: Any, threshold: float) -> NamedFunction:
+    """The predicate ``Φ^ω_r`` of §5.4: 1 iff ``ν_v(ω) >= r``.
+
+    Continuous in frequency (for the discrete metric on {0, 1}) iff ``r``
+    is irrational.
+    """
+
+    def phi(nu: FrequencyFunction) -> int:
+        return 1 if nu[value] >= threshold else 0
+
+    return frequency_based(f"threshold-{value!r}@{threshold}", phi)
+
+
+def quot_sum(pairs: Sequence[Tuple[float, float]]) -> float:
+    """The quot-sum ``(Σ v_k) / (Σ w_k)`` of §5.1; needs all ``w_k > 0``."""
+    if not pairs:
+        raise ValueError("quot-sum of an empty input is undefined")
+    num = sum(v for v, _w in pairs)
+    den = sum(w for _v, w in pairs)
+    if den <= 0:
+        raise ValueError("quot-sum needs positive weights")
+    return num / den
+
+
+QUOT_SUM = NamedFunction("quot-sum", quot_sum, FunctionClass.FREQUENCY_BASED)
+
+
+def _mode_of_frequencies(nu: FrequencyFunction) -> Any:
+    """The most frequent value; repr-order breaks ties deterministically."""
+    best = None
+    best_freq = Fraction(-1)
+    for value, freq in nu.items():
+        if freq > best_freq:
+            best, best_freq = value, freq
+    return best
+
+
+#: The most frequent input value — frequency-based (depends on relative
+#: frequencies, not multiplicities), a natural "plurality vote".
+MODE = frequency_based("mode", _mode_of_frequencies, numeric=False)
+
+
+def _variance_of_frequencies(nu: FrequencyFunction) -> Fraction:
+    mean = _average_of_frequencies(nu)
+    return sum(
+        (Fraction(v) - mean) ** 2 * f for v, f in nu.items()
+    ) or Fraction(0)
+
+
+#: The population variance — frequency-based, like every normalized moment.
+VARIANCE = frequency_based("variance", _variance_of_frequencies)
+
+#: Number of distinct input values — set-based.
+COUNT_DISTINCT = set_based("count-distinct", len)
+
+
+def _median_of_counts(counts: Counter) -> Any:
+    """Lower median of the multiset — multiset-based but *not*
+    frequency-based?  No: the median only depends on frequencies (it is the
+    0.5-quantile), so it is frequency-based; kept here computed from counts
+    for clarity."""
+    expanded = sorted(v for v, m in counts.items() for _ in range(m))
+    return expanded[(len(expanded) - 1) // 2]
+
+
+#: The lower median — a 0.5-quantile, hence frequency-based.
+MEDIAN = NamedFunction(
+    "median", lambda vec: _median_of_counts(Counter(vec)), FunctionClass.FREQUENCY_BASED
+)
+
+
+def modular_count_predicate(value: Any, modulus: int, residue: int = 0) -> NamedFunction:
+    """The predicate "multiplicity of ``value`` ≡ ``residue`` (mod m)".
+
+    Population protocols compute exactly the Presburger-definable
+    predicates (related work, [2, 3]), of which modular counting is the
+    archetype *beyond* threshold predicates.  It is multiset-based but
+    **not** frequency-based (doubling every multiplicity flips it), so in
+    this paper's models it is computable only with ``n`` known or a
+    leader — a sharp witness separating the two worlds.
+    """
+    if modulus < 2:
+        raise ValueError("modulus must be >= 2")
+
+    def phi(counts: Counter) -> int:
+        return 1 if counts[value] % modulus == residue else 0
+
+    return multiset_based(f"count-{value!r}-mod-{modulus}={residue}", phi)
+
+
+#: The standard probe battery for the table experiments: one representative
+#: per class, ordered by class.
+FUNCTION_LIBRARY = (MAXIMUM, AVERAGE, SUM)
+
+#: The wider battery used by extended tests: (function, smallest class).
+EXTENDED_LIBRARY = (
+    (MINIMUM, FunctionClass.SET_BASED),
+    (MAXIMUM, FunctionClass.SET_BASED),
+    (COUNT_DISTINCT, FunctionClass.SET_BASED),
+    (AVERAGE, FunctionClass.FREQUENCY_BASED),
+    (VARIANCE, FunctionClass.FREQUENCY_BASED),
+    (MODE, FunctionClass.FREQUENCY_BASED),
+    (MEDIAN, FunctionClass.FREQUENCY_BASED),
+    (SUM, FunctionClass.MULTISET_BASED),
+    (SIZE, FunctionClass.MULTISET_BASED),
+)

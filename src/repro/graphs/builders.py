@@ -1,0 +1,245 @@
+"""Standard graph constructions used throughout the paper and benchmarks.
+
+All builders return :class:`~repro.graphs.digraph.DiGraph` instances with a
+self-loop at every vertex (the paper's standing assumption, Section 2.1)
+unless ``self_loops=False`` is passed.  Random builders take an explicit
+``seed`` and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.graphs.digraph import DiGraph
+
+
+def _finish(n: int, specs: List[Tuple[int, int]], values: Optional[Sequence[Any]], self_loops: bool) -> DiGraph:
+    g = DiGraph(n, specs, values=values, ensure_self_loops=self_loops)
+    return g
+
+
+def directed_ring(n: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """The unidirectional ring ``0 -> 1 -> ... -> n-1 -> 0``."""
+    if n < 1:
+        raise ValueError("ring needs n >= 1")
+    specs = [(i, (i + 1) % n) for i in range(n)]
+    if n == 1:
+        specs = []
+    return _finish(n, specs, values, self_loops)
+
+
+def bidirectional_ring(n: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """The bidirectional ring ``R_n`` of Section 4.1."""
+    if n < 1:
+        raise ValueError("ring needs n >= 1")
+    specs: List[Tuple[int, int]] = []
+    for i in range(n):
+        j = (i + 1) % n
+        if i != j:
+            specs.append((i, j))
+            specs.append((j, i))
+    # n == 2 would produce each arc twice; deduplicate.
+    specs = sorted(set(specs))
+    return _finish(n, specs, values, self_loops)
+
+
+def complete_graph(n: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """The complete directed graph (every ordered pair, plus self-loops)."""
+    specs = [(i, j) for i in range(n) for j in range(n) if i != j]
+    return _finish(n, specs, values, self_loops)
+
+
+def path_graph(n: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """The bidirectional path ``0 - 1 - ... - n-1`` (symmetric, connected)."""
+    specs: List[Tuple[int, int]] = []
+    for i in range(n - 1):
+        specs.append((i, i + 1))
+        specs.append((i + 1, i))
+    return _finish(n, specs, values, self_loops)
+
+
+def star_graph(n: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """A bidirectional star: vertex 0 is the hub, ``1 .. n-1`` the leaves."""
+    if n < 1:
+        raise ValueError("star needs n >= 1")
+    specs: List[Tuple[int, int]] = []
+    for i in range(1, n):
+        specs.append((0, i))
+        specs.append((i, 0))
+    return _finish(n, specs, values, self_loops)
+
+
+def torus(rows: int, cols: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """A bidirectional ``rows x cols`` torus grid."""
+    if rows < 1 or cols < 1:
+        raise ValueError("torus needs positive dimensions")
+    n = rows * cols
+
+    def vid(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    specs = set()
+    for r in range(rows):
+        for c in range(cols):
+            v = vid(r, c)
+            for (dr, dc) in ((0, 1), (1, 0)):
+                w = vid(r + dr, c + dc)
+                if v != w:
+                    specs.add((v, w))
+                    specs.add((w, v))
+    return _finish(n, sorted(specs), values, self_loops)
+
+
+def hypercube(dim: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """The bidirectional ``dim``-dimensional hypercube on ``2**dim`` vertices."""
+    if dim < 0:
+        raise ValueError("hypercube needs dim >= 0")
+    n = 1 << dim
+    specs = []
+    for v in range(n):
+        for b in range(dim):
+            w = v ^ (1 << b)
+            specs.append((v, w))
+    return _finish(n, specs, values, self_loops)
+
+
+def lollipop(clique: int, tail: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """A bidirectional clique of size ``clique`` with a path tail of length ``tail``.
+
+    A classic high-diameter, asymmetric-looking test graph.
+    """
+    if clique < 1 or tail < 0:
+        raise ValueError("lollipop needs clique >= 1, tail >= 0")
+    n = clique + tail
+    specs = []
+    for i in range(clique):
+        for j in range(clique):
+            if i != j:
+                specs.append((i, j))
+    prev = clique - 1
+    for k in range(clique, n):
+        specs.append((prev, k))
+        specs.append((k, prev))
+        prev = k
+    return _finish(n, specs, values, self_loops)
+
+
+def de_bruijn_graph(symbols: int, length: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """The de Bruijn graph ``B(symbols, length)`` — strongly connected, uniform outdegree.
+
+    Vertex ``v`` (a base-``symbols`` word of ``length`` digits) points to all
+    words obtained by shifting in a new last digit.  A standard family with
+    nontrivial fibrations.
+    """
+    if symbols < 1 or length < 1:
+        raise ValueError("de Bruijn graph needs symbols >= 1, length >= 1")
+    n = symbols ** length
+    specs = []
+    for v in range(n):
+        shifted = (v * symbols) % n
+        for d in range(symbols):
+            w = shifted + d
+            if v != w:
+                specs.append((v, w))
+    return _finish(n, specs, values, self_loops)
+
+
+def wheel_graph(n: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True) -> DiGraph:
+    """A bidirectional wheel: hub 0 joined to an (n-1)-cycle of rim vertices.
+
+    Small diameter with two structural classes — a handy middle ground
+    between the star and the ring for fibration tests.
+    """
+    if n < 4:
+        raise ValueError("a wheel needs n >= 4 (hub + 3-cycle rim)")
+    specs = set()
+    rim = list(range(1, n))
+    for i, v in enumerate(rim):
+        w = rim[(i + 1) % len(rim)]
+        specs.add((v, w))
+        specs.add((w, v))
+        specs.add((0, v))
+        specs.add((v, 0))
+    return _finish(n, sorted(specs), values, self_loops)
+
+
+def complete_bipartite(
+    left: int, right: int, values: Optional[Sequence[Any]] = None, self_loops: bool = True
+) -> DiGraph:
+    """The bidirectional complete bipartite graph ``K_{left,right}``.
+
+    With unvalued sides this collapses onto a 2-vertex base with fibre
+    cardinalities (left, right) — a clean frequency-witness family.
+    """
+    if left < 1 or right < 1:
+        raise ValueError("both sides need at least one vertex")
+    n = left + right
+    specs = []
+    for a in range(left):
+        for b in range(left, n):
+            specs.append((a, b))
+            specs.append((b, a))
+    return _finish(n, specs, values, self_loops)
+
+
+def random_strongly_connected(
+    n: int,
+    extra_edge_prob: float = 0.2,
+    seed: int = 0,
+    values: Optional[Sequence[Any]] = None,
+    self_loops: bool = True,
+) -> DiGraph:
+    """A random strongly connected digraph.
+
+    Built as a random Hamiltonian cycle (guaranteeing strong connectivity)
+    plus each remaining ordered pair independently with probability
+    ``extra_edge_prob``.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    specs = set()
+    for i in range(n):
+        a, b = order[i], order[(i + 1) % n]
+        if a != b:
+            specs.add((a, b))
+    for i in range(n):
+        for j in range(n):
+            if i != j and (i, j) not in specs and rng.random() < extra_edge_prob:
+                specs.add((i, j))
+    return _finish(n, sorted(specs), values, self_loops)
+
+
+def random_symmetric_connected(
+    n: int,
+    extra_edge_prob: float = 0.2,
+    seed: int = 0,
+    values: Optional[Sequence[Any]] = None,
+    self_loops: bool = True,
+) -> DiGraph:
+    """A random connected graph with bidirectional edges.
+
+    A random spanning tree guarantees connectivity; each remaining unordered
+    pair is added independently with probability ``extra_edge_prob``; every
+    edge is mirrored.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    rng = random.Random(seed)
+    specs = set()
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    for k in range(1, n):
+        v = vertices[k]
+        parent = vertices[rng.randrange(k)]
+        specs.add((v, parent))
+        specs.add((parent, v))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in specs and rng.random() < extra_edge_prob:
+                specs.add((i, j))
+                specs.add((j, i))
+    return _finish(n, sorted(specs), values, self_loops)

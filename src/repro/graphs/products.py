@@ -1,0 +1,57 @@
+"""Graph composition — the product ``G1 ∘ G2`` of dynamic-network theory.
+
+Section 2.1 (footnote 3) composes communication graphs over consecutive
+rounds: there is an edge ``i -> j`` in ``G1 ∘ G2`` exactly when some relay
+``k`` satisfies ``i -> k`` in ``G1`` and ``k -> j`` in ``G2`` — information
+flows along a path that uses one edge per round.  (The footnote's displayed
+set swaps the pair order; the convention used throughout the paper — "for
+every pair of vertices i, j ... there is a dynamic path ... connecting i to
+j" — is the forward composition implemented here.)
+
+The *dynamic diameter* ``D`` of a dynamic graph is the smallest ``D`` such
+that every window ``G(t) ∘ ... ∘ G(t+D-1)`` is the complete graph; see
+:mod:`repro.dynamics.diameter` for its computation on dynamic graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+
+
+def graph_product(g1: DiGraph, g2: DiGraph) -> DiGraph:
+    """The composition ``g1 ∘ g2`` (simple graph on the common vertex set)."""
+    if g1.n != g2.n:
+        raise ValueError(f"product needs a common vertex set, got n={g1.n} and n={g2.n}")
+    edges: Set[Tuple[int, int]] = set()
+    # For each relay k, connect every in-neighbor of k in g1 to every
+    # out-neighbor of k in g2.
+    for k in g1.vertices():
+        sources = {e.source for e in g1.in_edges(k)}
+        targets = {e.target for e in g2.out_edges(k)}
+        for i in sources:
+            for j in targets:
+                edges.add((i, j))
+    return DiGraph(g1.n, sorted(edges))
+
+
+def iterated_product(graphs: Iterable[DiGraph]) -> DiGraph:
+    """``G(1) ∘ G(2) ∘ ... ∘ G(k)`` for a nonempty sequence of graphs."""
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("iterated product of an empty sequence is undefined")
+    acc = graphs[0]
+    for g in graphs[1:]:
+        acc = graph_product(acc, g)
+    return acc
+
+
+def reachability_closure(graphs: Iterable[DiGraph]) -> List[DiGraph]:
+    """Prefix products ``[G1, G1∘G2, G1∘G2∘G3, ...]`` — handy in tests."""
+    out: List[DiGraph] = []
+    acc = None
+    for g in graphs:
+        acc = g if acc is None else graph_product(acc, g)
+        out.append(acc)
+    return out

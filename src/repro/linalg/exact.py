@@ -1,0 +1,120 @@
+"""Exact rational elimination and integer kernels (§4.2).
+
+The static algorithm solves ``M z = 0`` for the fibre-cardinality vector,
+where ``M`` is a small integer matrix derived from the minimum base.  The
+paper's agents use "Gaussian elimination over the Euclidean ring ℤ"; we
+perform fraction-free-equivalent elimination with ``fractions.Fraction``
+(exact, no overflow in Python) and scale the kernel basis back to the
+primitive integer vector with coprime entries.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Optional, Sequence, Tuple
+
+
+Matrix = Sequence[Sequence[int]]
+
+
+def gcd_list(xs: Sequence[int]) -> int:
+    g = 0
+    for x in xs:
+        g = gcd(g, abs(x))
+    return g
+
+
+def lcm_list(xs: Sequence[int]) -> int:
+    out = 1
+    for x in xs:
+        if x == 0:
+            raise ValueError("lcm of zero is undefined")
+        out = out * abs(x) // gcd(out, abs(x))
+    return out
+
+
+def _to_fractions(matrix: Matrix) -> List[List[Fraction]]:
+    return [[Fraction(x) for x in row] for row in matrix]
+
+
+def _rref(rows: List[List[Fraction]]) -> Tuple[List[List[Fraction]], List[int]]:
+    """Reduced row echelon form; returns (rref, pivot column indices)."""
+    if not rows:
+        return rows, []
+    n_cols = len(rows[0])
+    pivots: List[int] = []
+    r = 0
+    for c in range(n_cols):
+        pivot_row = next((i for i in range(r, len(rows)) if rows[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+        inv = rows[r][c]
+        rows[r] = [x / inv for x in rows[r]]
+        for i in range(len(rows)):
+            if i != r and rows[i][c] != 0:
+                factor = rows[i][c]
+                rows[i] = [a - factor * b for a, b in zip(rows[i], rows[r])]
+        pivots.append(c)
+        r += 1
+        if r == len(rows):
+            break
+    return rows, pivots
+
+
+def rational_rank(matrix: Matrix) -> int:
+    """The rank of an integer matrix over ℚ (exact)."""
+    _rows, pivots = _rref(_to_fractions(matrix))
+    return len(pivots)
+
+
+def kernel_basis(matrix: Matrix) -> List[List[Fraction]]:
+    """A basis of ``ker`` (right null space) over ℚ, exact."""
+    rows = _to_fractions(matrix)
+    if not rows:
+        return []
+    n_cols = len(rows[0])
+    rref, pivots = _rref(rows)
+    free_cols = [c for c in range(n_cols) if c not in pivots]
+    basis: List[List[Fraction]] = []
+    for fc in free_cols:
+        vec = [Fraction(0)] * n_cols
+        vec[fc] = Fraction(1)
+        for r, pc in enumerate(pivots):
+            vec[pc] = -rref[r][fc]
+        basis.append(vec)
+    return basis
+
+
+def primitive_integer_vector(vec: Sequence[Fraction]) -> List[int]:
+    """Scale a rational vector to coprime integers (sign: first nonzero > 0)."""
+    denoms = [f.denominator for f in vec]
+    scale = lcm_list(denoms) if denoms else 1
+    ints = [int(f * scale) for f in vec]
+    g = gcd_list(ints)
+    if g:
+        ints = [x // g for x in ints]
+    first = next((x for x in ints if x != 0), 0)
+    if first < 0:
+        ints = [-x for x in ints]
+    return ints
+
+
+def integer_kernel_vector(matrix: Matrix) -> Optional[List[int]]:
+    """The primitive integer kernel vector, when ``ker`` has dimension one.
+
+    Returns ``None`` when the kernel dimension differs from one.  For the
+    fibre matrix of Theorem 4.1 the kernel is one-dimensional and spanned
+    by a positive vector (the fibre cardinalities up to a common factor);
+    callers should check positivity if they rely on it.
+    """
+    basis = kernel_basis(matrix)
+    if len(basis) != 1:
+        return None
+    return primitive_integer_vector(basis[0])
+
+
+def matvec(matrix: Matrix, vec: Sequence[int]) -> List[int]:
+    """Integer matrix-vector product (exact)."""
+    return [sum(a * x for a, x in zip(row, vec)) for row in matrix]

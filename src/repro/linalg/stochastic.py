@@ -1,0 +1,115 @@
+"""Stochastic matrices for the dynamic-network algorithms (§5.2–5.3).
+
+The Push-Sum update is multiplication by the column-stochastic matrix
+``A(t)`` with ``A[i][j] = 1/d⁻_j(t)`` whenever ``(j, i) ∈ E(t)``; the
+Metropolis update uses a doubly-stochastic symmetric matrix.  This module
+builds both from communication graphs and provides the analysis quantities
+of Lemma 5.1 and Theorem 5.2: α-safety, backward products, and Dobrushin's
+ergodic coefficient δ(P).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+
+
+def push_sum_matrix(g: DiGraph) -> np.ndarray:
+    """The column-stochastic ``A`` of Theorem 5.2's proof.
+
+    ``A[i, j] = (# edges j -> i) / d⁻_j`` — each sender splits its mass
+    equally over its out-edges (self-loop included, so no mass is lost).
+    Column-stochastic by construction.
+    """
+    n = g.n
+    a = np.zeros((n, n))
+    for e in g.edges:
+        a[e.target, e.source] += 1.0 / g.outdegree(e.source)
+    return a
+
+
+def metropolis_matrix(g: DiGraph, lazy: bool = False) -> np.ndarray:
+    """The Metropolis weight matrix of a *symmetric* graph.
+
+    ``W[i, j] = 1 / (1 + max(deg_i, deg_j))`` on (distinct) neighbors,
+    diagonal set to preserve row sums — doubly stochastic, symmetric, with
+    positive diagonal.  ``lazy=True`` halves off-diagonal weights (the Lazy
+    Metropolis variant of Olshevsky used for finite-dynamic-diameter
+    symmetric networks).
+
+    Degrees exclude the self-loop: the paper's Metropolis weights are over
+    the neighbor relation.
+    """
+    n = g.n
+    support = {(e.source, e.target) for e in g.edges if e.source != e.target}
+    for (i, j) in support:
+        if (j, i) not in support:
+            raise ValueError("metropolis_matrix needs a symmetric graph")
+    deg = [0] * n
+    neighbors = [set() for _ in range(n)]
+    for (i, j) in support:
+        neighbors[i].add(j)
+    for v in range(n):
+        deg[v] = len(neighbors[v])
+    w = np.zeros((n, n))
+    scale = 2.0 if lazy else 1.0
+    for (i, j) in support:
+        w[i, j] = 1.0 / (scale * (1.0 + max(deg[i], deg[j])))
+    for v in range(n):
+        w[v, v] = 1.0 - w[v].sum()
+    return w
+
+
+def is_column_stochastic(a: np.ndarray, tol: float = 1e-9) -> bool:
+    return bool((a >= -tol).all() and np.allclose(a.sum(axis=0), 1.0, atol=tol))
+
+
+def is_row_stochastic(a: np.ndarray, tol: float = 1e-9) -> bool:
+    return bool((a >= -tol).all() and np.allclose(a.sum(axis=1), 1.0, atol=tol))
+
+
+def alpha_safety(a: np.ndarray) -> float:
+    """The largest α such that ``a`` is α-safe (min positive entry)."""
+    positive = a[a > 0]
+    if positive.size == 0:
+        raise ValueError("matrix has no positive entry")
+    return float(positive.min())
+
+
+def backward_product(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """``A(t') · ... · A(t)`` for matrices given in time order ``t .. t'``.
+
+    The *later* matrix multiplies on the left, matching the paper's
+    ``A(t' : t)`` notation.
+    """
+    out = None
+    for a in matrices:
+        out = a.copy() if out is None else a @ out
+    if out is None:
+        raise ValueError("backward product of an empty sequence is undefined")
+    return out
+
+
+def dobrushin_coefficient(p: np.ndarray) -> float:
+    """Dobrushin's ergodic coefficient δ(P) of a row-stochastic matrix.
+
+    ``δ(P) = 1 - min_{i≠j} Σ_k min(P[i,k], P[j,k])`` ∈ [0, 1]; it is
+    sub-multiplicative and contracts the max-min seminorm (§5.3).
+    """
+    n = p.shape[0]
+    if n == 1:
+        return 0.0
+    worst = 1.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            overlap = float(np.minimum(p[i], p[j]).sum())
+            worst = min(worst, overlap)
+    return 1.0 - worst
+
+
+def seminorm_spread(x: np.ndarray) -> float:
+    """The seminorm ``δ(x) = max x - min x`` contracted by δ(P)."""
+    return float(x.max() - x.min())

@@ -1,0 +1,86 @@
+"""Tests for degree-blind constant-weight averaging ([11]'s regime)."""
+
+import pytest
+
+from repro.algorithms.constant_weight import ConstantWeightAveraging
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.core.convergence import run_until_asymptotic
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel
+from repro.dynamics.generators import random_dynamic_symmetric
+from repro.graphs.builders import (
+    bidirectional_ring,
+    path_graph,
+    random_symmetric_connected,
+    star_graph,
+)
+
+INPUTS = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+AVG = sum(INPUTS) / 6
+
+
+class TestBasics:
+    def test_is_a_pure_broadcast_algorithm(self):
+        alg = ConstantWeightAveraging(8)
+        assert alg.model is CommunicationModel.SYMMETRIC
+        # The message depends on the state alone.
+        assert alg.message((2.5,)) == 2.5
+
+    def test_bound_validated(self):
+        with pytest.raises(ValueError):
+            ConstantWeightAveraging(1)
+
+    def test_average_invariant_each_round(self):
+        g = random_symmetric_connected(6, seed=1)
+        ex = Execution(ConstantWeightAveraging(8), g, inputs=INPUTS)
+        for _ in range(20):
+            ex.step()
+            assert sum(ex.outputs()) / 6 == pytest.approx(AVG)
+
+    def test_estimates_stay_in_hull(self):
+        g = star_graph(6)
+        ex = Execution(ConstantWeightAveraging(8), g, inputs=INPUTS)
+        for _ in range(30):
+            ex.step()
+            assert min(INPUTS) - 1e-12 <= min(ex.outputs())
+            assert max(ex.outputs()) <= max(INPUTS) + 1e-12
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("builder", [bidirectional_ring, path_graph, star_graph])
+    def test_static_families(self, builder):
+        g = builder(6)
+        ex = Execution(ConstantWeightAveraging(8), g, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 4000, tolerance=1e-8, target=AVG)
+        assert report.converged
+
+    def test_dynamic_symmetric(self):
+        dyn = random_dynamic_symmetric(6, seed=2)
+        ex = Execution(ConstantWeightAveraging(8), dyn, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 4000, tolerance=1e-8, target=AVG)
+        assert report.converged
+
+    def test_loose_bound_still_correct_but_slower(self):
+        g = random_symmetric_connected(6, seed=3)
+
+        def rounds(bound):
+            ex = Execution(ConstantWeightAveraging(bound), g, inputs=INPUTS)
+            report = run_until_asymptotic(ex, 20000, tolerance=1e-8, target=AVG)
+            assert report.converged
+            return report.stabilization_round
+
+        assert rounds(64) > rounds(8)  # pessimism costs rounds, not correctness
+
+    def test_slower_than_metropolis(self):
+        # The paper's remark: dropping outdegree awareness costs time.
+        dyn = random_dynamic_symmetric(6, seed=4)
+
+        def rounds(alg):
+            ex = Execution(alg, dyn, inputs=INPUTS)
+            report = run_until_asymptotic(ex, 20000, tolerance=1e-8, target=AVG)
+            assert report.converged
+            return report.stabilization_round
+
+        blind = rounds(ConstantWeightAveraging(12))
+        adaptive = rounds(MetropolisAlgorithm())
+        assert blind >= adaptive

@@ -1,0 +1,84 @@
+"""Tests for ConstantWeightFrequency — the [11]-style symmetric pipeline."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.constant_weight import ConstantWeightFrequency
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_symmetric
+from repro.functions.library import AVERAGE, SUM
+from repro.graphs.builders import bidirectional_ring, star_graph
+
+INPUTS = [3, 1, 1, 4, 1, 4]
+
+
+class TestConstruction:
+    def test_exact_needs_bound(self):
+        with pytest.raises(ValueError):
+            ConstantWeightFrequency(mode="exact")
+
+    def test_multiset_needs_n(self):
+        with pytest.raises(ValueError):
+            ConstantWeightFrequency(mode="multiset")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ConstantWeightFrequency(mode="nope", n_bound=4)
+
+
+class TestMassConservation:
+    def test_per_value_mass_invariant(self):
+        g = bidirectional_ring(6)
+        alg = ConstantWeightFrequency(mode="exact", n_bound=8)
+        ex = Execution(alg, g, inputs=INPUTS)
+        for _ in range(15):
+            ex.step()
+            for (value, mult) in ((1, 3), (4, 2), (3, 1)):
+                total = sum(s.get(value, 0.0) for s in ex.states)
+                assert total == pytest.approx(mult)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_frequencies_dynamic(self, seed):
+        dyn = random_dynamic_symmetric(6, seed=seed)
+        alg = ConstantWeightFrequency(mode="exact", n_bound=8)
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 3000, patience=10)
+        assert report.converged
+        assert report.value[1] == Fraction(1, 2)
+
+    def test_average_composition(self):
+        dyn = random_dynamic_symmetric(6, seed=3)
+        alg = ConstantWeightFrequency(mode="exact", n_bound=8, f=AVERAGE)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=INPUTS), 3000, patience=10, target=AVERAGE(INPUTS)
+        )
+        assert report.converged
+
+    def test_multiset_and_sum_with_known_n(self):
+        dyn = random_dynamic_symmetric(6, seed=4)
+        alg = ConstantWeightFrequency(mode="multiset", n=6)
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 3000, patience=10)
+        assert report.converged
+        assert report.value == {1: 3, 3: 1, 4: 2}
+        alg = ConstantWeightFrequency(mode="multiset", n=6, f=SUM)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=INPUTS), 3000, patience=10, target=SUM(INPUTS)
+        )
+        assert report.converged
+
+    def test_star_topology(self):
+        g = star_graph(6)
+        alg = ConstantWeightFrequency(mode="exact", n_bound=7)
+        report = run_until_stable(Execution(alg, g, inputs=INPUTS), 3000, patience=10)
+        assert report.converged
+
+
+class TestNoOutdegreeNeeded:
+    def test_message_is_state_only(self):
+        # The defining property of the pure symmetric model: σ : Q -> M.
+        alg = ConstantWeightFrequency(mode="exact", n_bound=4)
+        state = {7: 1.0}
+        assert alg.message(state) is state

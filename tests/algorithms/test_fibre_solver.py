@@ -1,0 +1,135 @@
+"""Tests for the three fibre-cardinality solvers (eqs. (1), (3), (4))."""
+
+import pytest
+
+from repro.algorithms.fibre_solver import (
+    fibre_ratios_outdegree,
+    fibre_ratios_ports,
+    fibre_ratios_symmetric,
+)
+from repro.algorithms.minimum_base_alg import (
+    OutdegreeViewAlgorithm,
+    PortViewAlgorithm,
+    SymmetricViewAlgorithm,
+    extract_base,
+)
+from repro.core.execution import Execution
+from repro.fibrations.minimum_base import minimum_base
+from repro.graphs.builders import (
+    bidirectional_ring,
+    random_symmetric_connected,
+    star_graph,
+)
+from repro.graphs.digraph import DiGraph
+from repro.linalg.exact import gcd_list
+
+
+def distributed_base(algorithm, graph, rounds=24):
+    ex = Execution(algorithm, graph, inputs=list(graph.values))
+    ex.run(rounds)
+    base = ex.outputs()[0]
+    assert base is not None
+    return base
+
+
+def reference_ratios(graph):
+    mb = minimum_base(graph)
+    sizes = mb.fibre_sizes
+    g = gcd_list(sizes)
+    return sorted(s // g for s in sizes)
+
+
+class TestOutdegreeSolver:
+    def test_star_ratios(self):
+        g = star_graph(4, values=["h", "l", "l", "l"])
+        base = distributed_base(OutdegreeViewAlgorithm(), g)
+        z = fibre_ratios_outdegree(base)
+        assert z is not None
+        assert sorted(z) == [1, 3]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_centralized_fibres(self, seed):
+        g = random_symmetric_connected(6, seed=seed).with_values([1, 2, 1, 2, 1, 2])
+        base = distributed_base(OutdegreeViewAlgorithm(), g)
+        z = fibre_ratios_outdegree(base)
+        assert z is not None
+        assert sorted(z) == reference_ratios(g)
+
+    def test_unlabeled_base_rejected(self):
+        # The solver needs G_od labels: plain values carry no b_i.
+        base = DiGraph(2, [(0, 1), (1, 0), (0, 0), (1, 1)], values=[1, 2])
+        assert fibre_ratios_outdegree(base) is None
+
+    def test_non_integer_outdegree_rejected(self):
+        base = DiGraph(1, [(0, 0)], values=[(1, "x")])
+        assert fibre_ratios_outdegree(base) is None
+
+    def test_manual_g_od_base(self):
+        # Star base, hand-built: hub label ('h', 4), leaf label ('l', 2),
+        # leaf->hub x3, hub->leaf x1, self-loops.
+        base = DiGraph(
+            2,
+            [(1, 0), (1, 0), (1, 0), (0, 1), (0, 0), (1, 1)],
+            values=[("h", 4), ("l", 2)],
+        )
+        assert fibre_ratios_outdegree(base) == [1, 3]
+
+
+class TestPortSolver:
+    def test_all_ones(self):
+        g = bidirectional_ring(6, values=[1, 2, 1, 2, 1, 2])
+        base = distributed_base(PortViewAlgorithm(), g)
+        z = fibre_ratios_ports(base)
+        assert z == [1] * base.n
+
+    def test_duplicate_ports_rejected(self):
+        base = DiGraph(1, [(0, 0, 0), (0, 0, 0)], values=[1])
+        assert fibre_ratios_ports(base) is None
+
+    def test_non_port_colors_rejected(self):
+        base = DiGraph(1, [(0, 0, "x")], values=[1])
+        assert fibre_ratios_ports(base) is None
+
+
+class TestSymmetricSolver:
+    def test_star_ratios(self):
+        g = star_graph(4, values=["h", "l", "l", "l"])
+        base = distributed_base(SymmetricViewAlgorithm(), g)
+        z = fibre_ratios_symmetric(base)
+        assert z is not None
+        assert sorted(z) == [1, 3]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_centralized_fibres(self, seed):
+        g = random_symmetric_connected(7, seed=seed).with_values(
+            [1, 2, 1, 2, 1, 2, 1]
+        )
+        base = distributed_base(SymmetricViewAlgorithm(), g, rounds=30)
+        z = fibre_ratios_symmetric(base)
+        assert z is not None
+        assert sorted(z) == reference_ratios(g)
+
+    def test_asymmetric_support_rejected(self):
+        base = DiGraph(2, [(0, 1), (0, 0), (1, 1)], values=[1, 2])
+        assert fibre_ratios_symmetric(base) is None
+
+    def test_inconsistent_ratios_rejected(self):
+        # A triangle where pairwise ratios multiply to != 1 around a cycle.
+        base = DiGraph(
+            3,
+            [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (0, 2), (2, 0),
+             (0, 0), (1, 1), (2, 2)],
+            values=[1, 2, 3],
+        )
+        # Ratios: z1/z0 = 1, z2/z1 = 1, but z2/z0 = 1/2: inconsistent.
+        assert fibre_ratios_symmetric(base) is None
+
+
+class TestCrossSolverAgreement:
+    def test_outdegree_and_symmetric_agree(self):
+        g = star_graph(5, values=["h", "l", "l", "l", "l"])
+        base_od = distributed_base(OutdegreeViewAlgorithm(), g)
+        base_sym = distributed_base(SymmetricViewAlgorithm(), g)
+        z_od = fibre_ratios_outdegree(base_od)
+        z_sym = fibre_ratios_symmetric(base_sym)
+        assert sorted(z_od) == sorted(z_sym) == [1, 4]

@@ -1,0 +1,71 @@
+"""Tests for set flooding (the simple gossip algorithm)."""
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_strongly_connected, sparse_pulsed_dynamic
+from repro.dynamics.starts import AsynchronousStartGraph
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.graphs.builders import bidirectional_ring, directed_ring
+from repro.graphs.properties import diameter
+
+
+class TestStatic:
+    def test_computes_support(self):
+        g = directed_ring(5)
+        ex = Execution(GossipAlgorithm(), g, inputs=[1, 2, 2, 3, 1])
+        ex.run(diameter(g))
+        assert ex.outputs() == [frozenset({1, 2, 3})] * 5
+
+    def test_stabilizes_within_diameter(self):
+        g = bidirectional_ring(8)
+        ex = Execution(GossipAlgorithm(), g, inputs=list(range(8)))
+        report = run_until_stable(ex, max_rounds=20, patience=3)
+        assert report.converged
+        assert report.stabilization_round <= diameter(g) + 1
+
+    def test_set_based_functions(self):
+        g = directed_ring(4)
+        for fn, expected in ((max, 9), (min, 2), (len, 3)):
+            ex = Execution(GossipAlgorithm(fn), g, inputs=[2, 9, 5, 2])
+            ex.run(4)
+            assert ex.unanimous_output() == expected
+
+    def test_multiplicities_invisible(self):
+        # Gossip cannot distinguish [1, 2] multiplicities — by design.
+        g1 = directed_ring(4)
+        a = Execution(GossipAlgorithm(), g1, inputs=[1, 1, 1, 2]).run(5)
+        b = Execution(GossipAlgorithm(), g1, inputs=[1, 2, 2, 2]).run(5)
+        assert a.outputs() == b.outputs()
+
+
+class TestDynamic:
+    def test_works_on_random_dynamic(self):
+        dyn = random_dynamic_strongly_connected(6, seed=5)
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[3, 1, 4, 1, 5, 9])
+        report = run_until_stable(ex, max_rounds=30, patience=3, target=9)
+        assert report.converged
+
+    def test_survives_disconnected_rounds(self):
+        dyn = sparse_pulsed_dynamic(5, pulse_every=3, seed=1)
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[1, 2, 3, 4, 5])
+        report = run_until_stable(ex, max_rounds=60, patience=3, target=5)
+        assert report.converged
+
+    def test_tolerates_async_starts(self):
+        base = StaticAsDynamic(bidirectional_ring(5))
+        dyn = AsynchronousStartGraph(base, [1, 3, 2, 5, 1])
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[1, 2, 3, 4, 5])
+        report = run_until_stable(ex, max_rounds=30, patience=3, target=5)
+        assert report.converged
+
+
+class TestNotSelfStabilizing:
+    def test_corrupted_state_never_flushed(self):
+        # A ghost value in one agent's initial state floods everywhere:
+        # gossip is not self-stabilizing (§1's requirement discussion).
+        g = directed_ring(3)
+        states = [frozenset({1}), frozenset({1, 99}), frozenset({1})]
+        ex = Execution(GossipAlgorithm(max), g, initial_states=states)
+        ex.run(5)
+        assert ex.unanimous_output() == 99

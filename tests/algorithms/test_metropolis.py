@@ -1,0 +1,74 @@
+"""Tests for Metropolis averaging in symmetric networks."""
+
+import pytest
+
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.core.convergence import run_until_asymptotic
+from repro.core.execution import Execution
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.dynamics.generators import random_dynamic_symmetric, sparse_pulsed_dynamic
+from repro.dynamics.starts import AsynchronousStartGraph
+from repro.graphs.builders import (
+    bidirectional_ring,
+    path_graph,
+    random_symmetric_connected,
+    star_graph,
+)
+
+
+INPUTS = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+
+
+class TestStatic:
+    @pytest.mark.parametrize("builder", [bidirectional_ring, path_graph, star_graph])
+    def test_average_on_symmetric_families(self, builder):
+        g = builder(6)
+        ex = Execution(MetropolisAlgorithm(), g, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 2000, tolerance=1e-8, target=sum(INPUTS) / 6)
+        assert report.converged
+
+    def test_average_invariant_each_round(self):
+        g = random_symmetric_connected(6, seed=3)
+        ex = Execution(MetropolisAlgorithm(), g, inputs=INPUTS)
+        for _ in range(20):
+            ex.step()
+            assert sum(ex.outputs()) / 6 == pytest.approx(sum(INPUTS) / 6)
+
+    def test_lazy_variant_converges(self):
+        g = random_symmetric_connected(6, seed=4)
+        ex = Execution(MetropolisAlgorithm(lazy=True), g, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 3000, tolerance=1e-8, target=sum(INPUTS) / 6)
+        assert report.converged
+
+
+class TestDynamic:
+    def test_random_dynamic_symmetric(self):
+        dyn = random_dynamic_symmetric(6, seed=6)
+        ex = Execution(MetropolisAlgorithm(), dyn, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 2000, tolerance=1e-8, target=sum(INPUTS) / 6)
+        assert report.converged
+
+    def test_pulsed_symmetric(self):
+        dyn = sparse_pulsed_dynamic(5, pulse_every=2, seed=3, symmetric=True)
+        ex = Execution(MetropolisAlgorithm(), dyn, inputs=INPUTS[:5])
+        report = run_until_asymptotic(
+            ex, 4000, tolerance=1e-7, target=sum(INPUTS[:5]) / 5
+        )
+        assert report.converged
+
+    def test_asynchronous_starts(self):
+        base = StaticAsDynamic(random_symmetric_connected(5, seed=5))
+        dyn = AsynchronousStartGraph(base, [1, 3, 2, 4, 1])
+        ex = Execution(MetropolisAlgorithm(), dyn, inputs=INPUTS[:5])
+        report = run_until_asymptotic(
+            ex, 3000, tolerance=1e-7, target=sum(INPUTS[:5]) / 5
+        )
+        assert report.converged
+
+    def test_estimates_stay_in_convex_hull(self):
+        dyn = random_dynamic_symmetric(6, seed=8)
+        ex = Execution(MetropolisAlgorithm(), dyn, inputs=INPUTS)
+        for _ in range(50):
+            ex.step()
+            assert min(INPUTS) - 1e-12 <= min(ex.outputs())
+            assert max(ex.outputs()) <= max(INPUTS) + 1e-12

@@ -1,0 +1,147 @@
+"""Tests for the distributed minimum-base construction (§3.2, §4.2)."""
+
+import pytest
+
+from repro.algorithms.minimum_base_alg import (
+    DistributedMinimumBase,
+    OutdegreeViewAlgorithm,
+    PortViewAlgorithm,
+    SymmetricViewAlgorithm,
+    extract_base,
+)
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.fibrations.minimum_base import minimum_base
+from repro.graphs.builders import (
+    bidirectional_ring,
+    random_symmetric_connected,
+    star_graph,
+)
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.properties import diameter
+
+
+def run_and_extract(algorithm, graph, inputs, rounds):
+    ex = Execution(algorithm, graph, inputs=inputs)
+    ex.run(rounds)
+    return ex.outputs()
+
+
+class TestFactory:
+    def test_model_dispatch(self):
+        assert isinstance(DistributedMinimumBase(CM.OUTDEGREE_AWARE), OutdegreeViewAlgorithm)
+        assert isinstance(DistributedMinimumBase(CM.SYMMETRIC), SymmetricViewAlgorithm)
+        assert isinstance(DistributedMinimumBase(CM.OUTPUT_PORT_AWARE), PortViewAlgorithm)
+
+    def test_broadcast_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedMinimumBase(CM.SIMPLE_BROADCAST)
+
+
+class TestExtraction:
+    def test_too_shallow_returns_none(self):
+        alg = SymmetricViewAlgorithm()
+        state = alg.initial_state(1)
+        assert extract_base(state[1], alg.builder) is None
+
+    def test_symmetric_base_matches_centralized(self):
+        g = bidirectional_ring(6, values=[1, 2, 1, 2, 1, 2])
+        alg = SymmetricViewAlgorithm()
+        rounds = 4 * (6 + diameter(g))
+        outs = run_and_extract(alg, g, list(g.values), rounds)
+        truth = minimum_base(g).base
+        for base in outs:
+            assert base is not None
+            assert base.n == truth.n
+            assert sorted(map(repr, base.values)) == sorted(map(repr, truth.values))
+
+    def test_all_agents_agree(self):
+        g = random_symmetric_connected(6, seed=7).with_values([1, 1, 2, 2, 1, 2])
+        alg = SymmetricViewAlgorithm()
+        outs = run_and_extract(alg, g, list(g.values), 30)
+        reprs = {repr(sorted(map(repr, b.values))) for b in outs if b is not None}
+        assert len(reprs) == 1
+
+    def test_outdegree_base_carries_labels(self):
+        g = star_graph(4, values=["h", "l", "l", "l"])
+        alg = OutdegreeViewAlgorithm()
+        outs = run_and_extract(alg, g, list(g.values), 20)
+        base = outs[0]
+        assert base is not None
+        # Vertex labels are G_od's (value, outdegree) pairs: the hub has
+        # outdegree 4, the leaves 2.
+        assert sorted(base.values, key=repr) == [("h", 4), ("l", 2)]
+
+    def test_outdegree_separates_hidden_degree_twins(self):
+        # Regression: vertices whose *annotated in-views* coincide but
+        # whose outdegrees differ (each sees both annotations — one via
+        # its self-loop, one from the other) must still be separated,
+        # because §4.2's base is that of the double-valued graph G_od.
+        from repro.graphs.builders import random_strongly_connected
+
+        g = random_strongly_connected(4, seed=1)  # the hypothesis-found case
+        assert sorted(g.outdegree(v) for v in g.vertices()) == [2, 2, 3, 3]
+        alg = OutdegreeViewAlgorithm()
+        outs = run_and_extract(alg, g, [0, 0, 0, 0], 20)
+        base = outs[0]
+        assert base is not None
+        assert base.n == 4  # G_od is fibration prime here
+        from repro.algorithms.fibre_solver import fibre_ratios_outdegree
+
+        assert fibre_ratios_outdegree(base) == [1, 1, 1, 1]
+
+    def test_port_base_is_covering_quotient(self):
+        g = bidirectional_ring(6, values=[1, 2, 1, 2, 1, 2])
+        alg = PortViewAlgorithm()
+        outs = run_and_extract(alg, g, list(g.values), 24)
+        base = outs[0]
+        assert base is not None
+        # With ports the quotient is a covering: out-edges carry distinct
+        # port colors at each base vertex.
+        for v in base.vertices():
+            ports = [e.color for e in base.out_edges(v)]
+            assert len(set(ports)) == len(ports)
+
+
+class TestStabilization:
+    def test_stabilizes_by_2n_plus_2d(self):
+        for seed in range(3):
+            g = random_symmetric_connected(7, seed=seed).with_values(
+                [1, 2, 1, 2, 1, 2, 1]
+            )
+            truth = minimum_base(g).base
+            alg = SymmetricViewAlgorithm()
+            ex = Execution(alg, g, inputs=list(g.values))
+            bound = 2 * (7 + diameter(g)) + 2
+            ex.run(bound)
+            for base in ex.outputs():
+                assert base is not None
+                assert are_isomorphic(base, truth)
+
+    def test_output_stable_after_stabilization(self):
+        g = bidirectional_ring(4, values=[1, 2, 1, 2])
+        alg = SymmetricViewAlgorithm()
+        ex = Execution(alg, g, inputs=[1, 2, 1, 2])
+        ex.run(16)
+        first = [repr(sorted(map(repr, b.values))) for b in ex.outputs()]
+        ex.run(8)
+        second = [repr(sorted(map(repr, b.values))) for b in ex.outputs()]
+        assert first == second
+
+
+class TestSelfStabilization:
+    def test_recovers_from_garbage_views(self):
+        # Arbitrary (wrong) initial views are outgrown: the extraction only
+        # reads the top half of the view, which is rebuilt from scratch.
+        g = bidirectional_ring(4, values=[1, 2, 1, 2])
+        alg = SymmetricViewAlgorithm()
+        garbage = alg.builder.node(
+            99, [(None, alg.builder.leaf(98)), (None, alg.builder.leaf(97))]
+        )
+        states = [(v, garbage) for v in [1, 2, 1, 2]]
+        ex = Execution(alg, g, initial_states=states)
+        ex.run(24)
+        truth = minimum_base(g).base
+        for base in ex.outputs():
+            assert base is not None
+            assert sorted(map(repr, base.values)) == sorted(map(repr, truth.values))

@@ -1,0 +1,95 @@
+"""Tests for multiset recovery with known n or leaders (Corollaries 4.3–4.4)."""
+
+import pytest
+
+from repro.algorithms.multiset_static import known_size_algorithm, leader_algorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.functions.library import SIZE, SUM
+from repro.graphs.builders import (
+    bidirectional_ring,
+    random_strongly_connected,
+    random_symmetric_connected,
+    star_graph,
+)
+
+INPUTS = [3, 1, 1, 4, 1, 4]
+ENRICHED = [CM.OUTDEGREE_AWARE, CM.SYMMETRIC, CM.OUTPUT_PORT_AWARE]
+
+
+def graph_for(model, n=6, seed=0):
+    if model is CM.SYMMETRIC:
+        return random_symmetric_connected(n, seed=seed)
+    return random_strongly_connected(n, seed=seed)
+
+
+class TestKnownSize:
+    @pytest.mark.parametrize("model", ENRICHED)
+    def test_sum(self, model):
+        g = graph_for(model)
+        alg = known_size_algorithm(SUM, model, n=6)
+        report = run_until_stable(
+            Execution(alg, g, inputs=INPUTS), 60, patience=4, target=SUM(INPUTS)
+        )
+        assert report.converged
+
+    def test_size_recovered(self):
+        g = graph_for(CM.SYMMETRIC, seed=3)
+        alg = known_size_algorithm(SIZE, CM.SYMMETRIC, n=6)
+        report = run_until_stable(
+            Execution(alg, g, inputs=INPUTS), 60, patience=4, target=6
+        )
+        assert report.converged
+
+    def test_collapsed_ring_with_known_n(self):
+        # Uniform values on a ring: one fibre, ratios (1); with n known the
+        # multiplicity n/1 is exact.
+        g = bidirectional_ring(5, values=[7, 7, 7, 7, 7])
+        alg = known_size_algorithm(SUM, CM.SYMMETRIC, n=5)
+        report = run_until_stable(
+            Execution(alg, g, inputs=[7] * 5), 40, patience=4, target=35
+        )
+        assert report.converged
+
+
+class TestLeader:
+    @pytest.mark.parametrize("model", ENRICHED)
+    def test_sum_with_one_leader(self, model):
+        g = graph_for(model, seed=1)
+        linputs = [(v, i == 0) for i, v in enumerate(INPUTS)]
+        alg = leader_algorithm(SUM, model, leader_count=1)
+        report = run_until_stable(
+            Execution(alg, g, inputs=linputs), 60, patience=4, target=SUM(INPUTS)
+        )
+        assert report.converged
+
+    def test_two_leaders_with_known_count(self):
+        g = graph_for(CM.SYMMETRIC, seed=2)
+        linputs = [(v, i < 2) for i, v in enumerate(INPUTS)]
+        alg = leader_algorithm(SUM, CM.SYMMETRIC, leader_count=2)
+        report = run_until_stable(
+            Execution(alg, g, inputs=linputs), 60, patience=4, target=SUM(INPUTS)
+        )
+        assert report.converged
+
+    def test_leader_breaks_ring_symmetry(self):
+        # Uniform values, but one leader: the full multiset (hence n and
+        # the sum) becomes computable on a plain ring.
+        values = [7] * 6
+        linputs = [(7, i == 0) for i in range(6)]
+        g = bidirectional_ring(6)
+        alg = leader_algorithm(SUM, CM.SYMMETRIC, leader_count=1)
+        report = run_until_stable(
+            Execution(alg, g, inputs=linputs), 60, patience=4, target=42
+        )
+        assert report.converged
+
+    def test_leader_on_star(self):
+        g = star_graph(5)
+        linputs = [(v, i == 0) for i, v in enumerate([10, 1, 1, 1, 1])]
+        alg = leader_algorithm(SUM, CM.SYMMETRIC, leader_count=1)
+        report = run_until_stable(
+            Execution(alg, g, inputs=linputs), 60, patience=4, target=14
+        )
+        assert report.converged

@@ -1,0 +1,86 @@
+"""Tests for Push-Sum (Theorem 5.2)."""
+
+import pytest
+
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.convergence import run_until_asymptotic
+from repro.core.execution import Execution
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.dynamics.generators import (
+    random_dynamic_strongly_connected,
+    sparse_pulsed_dynamic,
+)
+from repro.dynamics.starts import AsynchronousStartGraph
+from repro.functions.library import quot_sum
+from repro.graphs.builders import bidirectional_ring, directed_ring, star_graph
+
+
+class TestStaticConvergence:
+    @pytest.mark.parametrize("builder", [directed_ring, bidirectional_ring, star_graph])
+    def test_average_on_static_graphs(self, builder):
+        g = builder(6)
+        inputs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        ex = Execution(PushSumAlgorithm(), g, inputs=inputs)
+        report = run_until_asymptotic(ex, 400, tolerance=1e-9, target=sum(inputs) / 6)
+        assert report.converged
+
+    def test_quot_sum_with_weights(self):
+        g = directed_ring(4)
+        pairs = [(2.0, 1.0), (4.0, 2.0), (6.0, 3.0), (0.0, 2.0)]
+        ex = Execution(PushSumAlgorithm(), g, inputs=pairs)
+        report = run_until_asymptotic(ex, 400, tolerance=1e-9, target=quot_sum(pairs))
+        assert report.converged
+
+    def test_mass_conservation_invariant(self):
+        g = directed_ring(5)
+        inputs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ex = Execution(PushSumAlgorithm(), g, inputs=inputs)
+        for _ in range(10):
+            ex.step()
+            ys = sum(s[0] for s in ex.states)
+            zs = sum(s[1] for s in ex.states)
+            assert ys == pytest.approx(sum(inputs))
+            assert zs == pytest.approx(5.0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PushSumAlgorithm().initial_state((1.0, -1.0))
+
+
+class TestDynamicConvergence:
+    def test_random_dynamic(self):
+        dyn = random_dynamic_strongly_connected(7, seed=11)
+        inputs = [float(i) for i in range(7)]
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+        report = run_until_asymptotic(ex, 600, tolerance=1e-8, target=3.0)
+        assert report.converged
+
+    def test_pulsed_dynamic_with_disconnected_rounds(self):
+        dyn = sparse_pulsed_dynamic(5, pulse_every=3, seed=2, symmetric=False)
+        inputs = [0.0, 0.0, 0.0, 0.0, 10.0]
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+        report = run_until_asymptotic(ex, 1500, tolerance=1e-7, target=2.0)
+        assert report.converged
+
+    def test_asynchronous_starts(self):
+        base = StaticAsDynamic(bidirectional_ring(5))
+        dyn = AsynchronousStartGraph(base, [1, 4, 2, 3, 1])
+        inputs = [5.0, 0.0, 5.0, 0.0, 5.0]
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+        report = run_until_asymptotic(ex, 600, tolerance=1e-8, target=3.0)
+        assert report.converged
+
+
+class TestMonotoneEnvelope:
+    def test_extremes_contract(self):
+        # max and min of the estimates are non-increasing/non-decreasing
+        # (the B(t) matrices are row-stochastic — Theorem 5.2's proof).
+        g = bidirectional_ring(6)
+        ex = Execution(PushSumAlgorithm(), g, inputs=[3.0, 1.0, 4.0, 1.0, 5.0, 9.0])
+        prev_max, prev_min = float("inf"), float("-inf")
+        for _ in range(30):
+            ex.step()
+            outs = ex.outputs()
+            assert max(outs) <= prev_max + 1e-12
+            assert min(outs) >= prev_min - 1e-12
+            prev_max, prev_min = max(outs), min(outs)

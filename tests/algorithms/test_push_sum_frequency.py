@@ -1,0 +1,126 @@
+"""Tests for the frequency Push-Sum (Algorithm 1, Corollaries 5.3–5.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.dynamics.generators import random_dynamic_strongly_connected
+from repro.dynamics.starts import AsynchronousStartGraph
+from repro.functions.frequency import FrequencyFunction
+from repro.functions.library import AVERAGE, SUM
+from repro.graphs.builders import bidirectional_ring, directed_ring
+
+
+INPUTS = [3, 1, 1, 4, 1, 4]  # frequencies 1: 1/2, 4: 1/3, 3: 1/6
+
+
+class TestConstruction:
+    def test_exact_needs_bound(self):
+        with pytest.raises(ValueError):
+            PushSumFrequencyAlgorithm(mode="exact")
+
+    def test_multiset_needs_anchor(self):
+        with pytest.raises(ValueError):
+            PushSumFrequencyAlgorithm(mode="multiset")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PushSumFrequencyAlgorithm(mode="bogus")
+
+
+class TestExactFrequencies:
+    def test_static_ring(self):
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=8)
+        ex = Execution(alg, directed_ring(6), inputs=INPUTS)
+        report = run_until_stable(ex, 500, patience=8)
+        assert report.converged
+        assert report.value == FrequencyFunction({1: "1/2", 4: "1/3", 3: "1/6"})
+
+    def test_dynamic(self):
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=7)
+        dyn = random_dynamic_strongly_connected(6, seed=13)
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 500, patience=8)
+        assert report.converged
+        assert report.value[1] == Fraction(1, 2)
+
+    def test_with_function_composition(self):
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=8, f=AVERAGE)
+        ex = Execution(alg, directed_ring(6), inputs=INPUTS)
+        report = run_until_stable(ex, 500, patience=8, target=AVERAGE(INPUTS))
+        assert report.converged
+
+    def test_mass_invariants(self):
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=8)
+        ex = Execution(alg, bidirectional_ring(6), inputs=INPUTS)
+        ex.run(40)
+        # Per-value y-mass equals the multiplicity; z-mass equals n once
+        # everyone has joined every instance.
+        for (value, mult) in ((1, 3), (4, 2), (3, 1)):
+            y_total = sum(s[1][value][0] for s in ex.states)
+            z_total = sum(s[1][value][1] for s in ex.states)
+            assert y_total == pytest.approx(mult)
+            assert z_total == pytest.approx(6.0)
+
+
+class TestMultisetModes:
+    def test_known_n_recovers_multiset(self):
+        alg = PushSumFrequencyAlgorithm(mode="multiset", n=6)
+        dyn = random_dynamic_strongly_connected(6, seed=17)
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 500, patience=8)
+        assert report.converged
+        assert report.value == {1: 3, 3: 1, 4: 2}
+
+    def test_known_n_computes_sum(self):
+        alg = PushSumFrequencyAlgorithm(mode="multiset", n=6, f=SUM)
+        dyn = random_dynamic_strongly_connected(6, seed=19)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=INPUTS), 500, patience=8, target=SUM(INPUTS)
+        )
+        assert report.converged
+
+    def test_leader_variant(self):
+        alg = PushSumFrequencyAlgorithm(mode="multiset", leader_count=1)
+        linputs = [(v, i == 0) for i, v in enumerate(INPUTS)]
+        dyn = random_dynamic_strongly_connected(6, seed=23)
+        report = run_until_stable(Execution(alg, dyn, inputs=linputs), 500, patience=8)
+        assert report.converged
+        assert report.value == {1: 3, 3: 1, 4: 2}
+
+    def test_two_leaders(self):
+        alg = PushSumFrequencyAlgorithm(mode="multiset", leader_count=2)
+        linputs = [(v, i < 2) for i, v in enumerate(INPUTS)]
+        dyn = random_dynamic_strongly_connected(6, seed=29)
+        report = run_until_stable(Execution(alg, dyn, inputs=linputs), 500, patience=8)
+        assert report.converged
+        assert report.value == {1: 3, 3: 1, 4: 2}
+
+    def test_leader_outputs_none_before_mass_arrives(self):
+        alg = PushSumFrequencyAlgorithm(mode="multiset", leader_count=1)
+        linputs = [(v, i == 0) for i, v in enumerate(INPUTS)]
+        ex = Execution(alg, directed_ring(6), inputs=linputs)
+        # Before the leader's z-mass reaches everyone, some estimates are ∞
+        # and the output is None (§5.5: x may transiently be infinite).
+        assert None in ex.outputs()
+
+
+class TestNormalizedFrequencies:
+    def test_frequencies_mode_asymptotic(self):
+        alg = PushSumFrequencyAlgorithm(mode="frequencies")
+        dyn = random_dynamic_strongly_connected(6, seed=31)
+        ex = Execution(alg, dyn, inputs=INPUTS)
+        ex.run(300)
+        out = ex.outputs()[0]
+        assert out[1] == pytest.approx(0.5, abs=1e-6)
+        assert sum(out.values()) == pytest.approx(1.0)
+
+    def test_asynchronous_starts(self):
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=8)
+        base = StaticAsDynamic(bidirectional_ring(6))
+        dyn = AsynchronousStartGraph(base, [1, 3, 2, 5, 4, 1])
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 600, patience=8)
+        assert report.converged
+        assert report.value[4] == Fraction(1, 3)

@@ -1,0 +1,62 @@
+"""Tests for bounded-denominator rational approximation (Corollary 5.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.rational import nearest_frequency, nearest_rational
+
+
+class TestNearestRational:
+    def test_exact_passthrough(self):
+        assert nearest_rational(Fraction(1, 3), 5) == Fraction(1, 3)
+
+    def test_rounds_to_simple_fraction(self):
+        assert nearest_rational(0.3333333, 10) == Fraction(1, 3)
+        assert nearest_rational(0.4999999, 10) == Fraction(1, 2)
+
+    def test_pi_convergents(self):
+        import math
+
+        assert nearest_rational(math.pi, 10) == Fraction(22, 7)
+        assert nearest_rational(math.pi, 150) == Fraction(355, 113)
+
+    def test_denominator_one(self):
+        assert nearest_rational(2.7, 1) == Fraction(3)
+        assert nearest_rational(2.2, 1) == Fraction(2)
+
+    def test_optimality_brute_force(self):
+        # Against exhaustive search over all p/q with q <= N.
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            x = rng.uniform(0, 1)
+            n = rng.randint(1, 12)
+            best = min(
+                (Fraction(p, q) for q in range(1, n + 1) for p in range(0, q + 1)),
+                key=lambda f: abs(f - Fraction(x)),
+            )
+            got = nearest_rational(x, n)
+            assert abs(got - Fraction(x)) <= abs(best - Fraction(x))
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            nearest_rational(0.5, 0)
+
+    def test_negative_values(self):
+        assert nearest_rational(-0.24, 4) == Fraction(-1, 4)
+
+
+class TestNearestFrequency:
+    def test_clamps_to_unit_interval(self):
+        assert nearest_frequency(-0.1, 5) == 0
+        assert nearest_frequency(1.2, 5) == 1
+
+    def test_separation_guarantee(self):
+        # Distinct members of Q_N are >= 1/N² apart, so an estimate within
+        # 1/(2N²) always rounds to the truth.
+        n = 6
+        truth = Fraction(2, 6)
+        noisy = float(truth) + 1 / (2 * n * n) * 0.9
+        assert nearest_frequency(noisy, n) == truth

@@ -1,0 +1,61 @@
+"""Tests for vector-valued Push-Sum (δ2 on ℝᵏ, §2.3)."""
+
+import pytest
+
+from repro.algorithms.push_sum import VectorPushSumAlgorithm
+from repro.core.convergence import run_until_asymptotic
+from repro.core.execution import Execution
+from repro.core.metrics import euclidean_metric
+from repro.dynamics.generators import random_dynamic_strongly_connected
+from repro.graphs.builders import bidirectional_ring
+
+
+POSITIONS = [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0), (2.0, 2.0)]
+BARYCENTER = (2.0, 2.0)
+
+
+class TestVectorConvergence:
+    def test_barycenter_on_static_ring(self):
+        g = bidirectional_ring(5)
+        ex = Execution(VectorPushSumAlgorithm(), g, inputs=POSITIONS)
+        report = run_until_asymptotic(
+            ex, 500, tolerance=1e-8, target=BARYCENTER, metric=euclidean_metric
+        )
+        assert report.converged
+
+    def test_barycenter_on_dynamic_graph(self):
+        dyn = random_dynamic_strongly_connected(5, seed=21)
+        ex = Execution(VectorPushSumAlgorithm(), dyn, inputs=POSITIONS)
+        report = run_until_asymptotic(
+            ex, 800, tolerance=1e-8, target=BARYCENTER, metric=euclidean_metric
+        )
+        assert report.converged
+
+    def test_componentwise_mass_conservation(self):
+        g = bidirectional_ring(5)
+        ex = Execution(VectorPushSumAlgorithm(), g, inputs=POSITIONS)
+        for _ in range(12):
+            ex.step()
+            totals = [sum(s[0][i] for s in ex.states) for i in range(2)]
+            assert totals[0] == pytest.approx(10.0)
+            assert totals[1] == pytest.approx(10.0)
+
+    def test_dimensions_preserved(self):
+        g = bidirectional_ring(3)
+        inputs = [(1.0, 2.0, 3.0), (4.0, 5.0, 6.0), (7.0, 8.0, 9.0)]
+        ex = Execution(VectorPushSumAlgorithm(), g, inputs=inputs)
+        ex.run(5)
+        assert all(len(o) == 3 for o in ex.outputs())
+
+    def test_matches_scalar_push_sum_per_coordinate(self):
+        from repro.algorithms.push_sum import PushSumAlgorithm
+
+        g = bidirectional_ring(4)
+        xs = [1.0, 2.0, 3.0, 4.0]
+        vec_ex = Execution(VectorPushSumAlgorithm(), g, inputs=[(x,) for x in xs])
+        sca_ex = Execution(PushSumAlgorithm(), g, inputs=xs)
+        for _ in range(10):
+            vec_ex.step()
+            sca_ex.step()
+            for vo, so in zip(vec_ex.outputs(), sca_ex.outputs()):
+                assert vo[0] == pytest.approx(so)

@@ -1,0 +1,67 @@
+"""Unit tests for the bandwidth accounting utilities."""
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.minimum_base_alg import SymmetricViewAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.bandwidth import bandwidth_curve, max_message_units, payload_units
+from repro.core.execution import Execution
+from repro.graphs.builders import bidirectional_ring
+from repro.graphs.views import ViewBuilder
+
+
+class TestPayloadUnits:
+    def test_atoms(self):
+        assert payload_units(3.14) == 1
+        assert payload_units("hello") == 1
+        assert payload_units(None) == 1
+
+    def test_containers(self):
+        assert payload_units((1.0, 2.0)) == 2
+        assert payload_units({1: (0.5, 0.5), 2: (0.0, 1.0)}) == 6
+        assert payload_units(frozenset({1, 2, 3})) == 3
+
+    def test_views_count_dag_not_tree(self):
+        b = ViewBuilder()
+        x = b.leaf("x")
+        # A node referencing x twice: shared child shipped once.
+        n = b.node("r", [(None, x), (None, x)])
+        assert payload_units(n) == (1 + 2) + 1  # node+2 edges, one leaf
+
+    def test_shared_views_within_message(self):
+        b = ViewBuilder()
+        x = b.leaf("x")
+        n = b.node("r", [(None, x)])
+        # Tuple carrying the same view twice: second occurrence free.
+        assert payload_units((n, n)) == payload_units(n)
+
+
+class TestMessageMeasurement:
+    def test_push_sum_constant(self):
+        g = bidirectional_ring(4)
+        ex = Execution(PushSumAlgorithm(), g, inputs=[1.0, 2.0, 3.0, 4.0])
+        curve = bandwidth_curve(ex, 10)
+        assert curve == [2] * 10  # (y, z) shares
+
+    def test_gossip_bounded_by_support(self):
+        g = bidirectional_ring(4)
+        ex = Execution(GossipAlgorithm(), g, inputs=[1, 2, 1, 2])
+        curve = bandwidth_curve(ex, 6)
+        assert max(curve) == 2
+
+    def test_views_grow(self):
+        g = bidirectional_ring(4, values=[1, 2, 1, 2])
+        ex = Execution(SymmetricViewAlgorithm(), g, inputs=[1, 2, 1, 2])
+        curve = bandwidth_curve(ex, 10)
+        assert curve == sorted(curve)
+        assert curve[-1] > curve[0]
+
+    def test_max_over_agents(self):
+        from repro.graphs.builders import star_graph
+
+        g = star_graph(4)
+        ex = Execution(GossipAlgorithm(), g, initial_states=[
+            frozenset({1, 2, 3}), frozenset({1}), frozenset({1}), frozenset({1}),
+        ])
+        assert max_message_units(ex) == 3

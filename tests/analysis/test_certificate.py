@@ -1,0 +1,35 @@
+"""Tests for the JSON reproduction certificate."""
+
+import json
+
+from repro.analysis.certificate import certificate_json, reproduction_certificate
+
+
+class TestCertificate:
+    def test_structure_and_verdict(self):
+        doc = reproduction_certificate()
+        assert doc["summary"]["verdict"] == "PASS"
+        assert doc["summary"]["cells"] == 28
+        assert doc["summary"]["consistent"] == 28
+        assert doc["summary"]["open_cells_demonstrated"] == 2
+        assert len(doc["table1"]) == 16
+        assert len(doc["table2"]) == 12
+
+    def test_cells_carry_citations(self):
+        doc = reproduction_certificate()
+        notes = {c["paper_note"] for c in doc["table1"]}
+        assert any("Theorem 4.1" in note for note in notes)
+        assert any("Boldi" in note for note in notes)
+
+    def test_json_roundtrip(self):
+        text = certificate_json()
+        doc = json.loads(text)
+        assert doc["summary"]["verdict"] == "PASS"
+
+    def test_cli_json_mode(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["summary"]["verdict"] == "PASS"

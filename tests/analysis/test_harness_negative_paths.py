@@ -1,0 +1,35 @@
+"""The table harness's refutation machinery must itself be falsifiable.
+
+A harness that reports "refuted" for every function would also pass the
+tables; these tests check the certificates *decline* to refute functions
+that genuinely are computable — the refutations carry information.
+"""
+
+from repro.analysis.tables import _broadcast_refutation, _sum_refutation
+from repro.analysis.impossibility import frequency_counterexample
+from repro.core.models import CommunicationModel as CM
+from repro.core.network_class import Knowledge
+from repro.functions.library import AVERAGE, MAXIMUM, SUM
+
+
+class TestRefutationsAreSelective:
+    def test_broadcast_refutation_declines_set_based_functions(self):
+        # max agrees across the cover pair (same support), so the pair
+        # proves nothing against it — the harness must say so.
+        for knowledge in (Knowledge.NONE, Knowledge.EXACT_N, Knowledge.LEADER):
+            assert not _broadcast_refutation(MAXIMUM, knowledge)
+
+    def test_broadcast_refutation_catches_frequency_functions(self):
+        for knowledge in (Knowledge.NONE, Knowledge.BOUND_N, Knowledge.EXACT_N, Knowledge.LEADER):
+            assert _broadcast_refutation(AVERAGE, knowledge)
+
+    def test_broadcast_refutation_catches_multiset_functions(self):
+        assert _broadcast_refutation(SUM, Knowledge.NONE)
+
+    def test_counterexample_declines_frequency_based(self):
+        assert frequency_counterexample(AVERAGE, [1, 2]) is None
+        assert frequency_counterexample(MAXIMUM, [1, 2]) is None
+
+    def test_sum_refutation_all_models(self):
+        for model in (CM.SIMPLE_BROADCAST, CM.OUTDEGREE_AWARE, CM.OUTPUT_PORT_AWARE):
+            assert _sum_refutation(model)

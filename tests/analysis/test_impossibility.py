@@ -1,0 +1,133 @@
+"""Tests for the impossibility experiment harness (§4.1)."""
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.impossibility import (
+    demonstrate_collapse,
+    frequency_counterexample,
+    two_fibre_cover,
+    verify_lifting_on_outputs,
+)
+from repro.core.models import CommunicationModel as CM
+from repro.fibrations.fibration import ring_collapse
+from repro.fibrations.minimum_base import minimum_base
+from repro.functions.library import AVERAGE, MAXIMUM, SUM
+from repro.graphs.properties import is_strongly_connected
+
+
+class TestLiftingVerification:
+    def test_gossip_lifts_on_rings(self):
+        phi = ring_collapse(8, 4)
+        assert verify_lifting_on_outputs(phi, GossipAlgorithm, [1, 2, 3, 4], rounds=12)
+
+    def test_push_sum_lifts_on_rings(self):
+        phi = ring_collapse(6, 3)
+        assert verify_lifting_on_outputs(
+            phi, PushSumAlgorithm, [1.0, 2.0, 3.0], rounds=12
+        )
+
+    def test_gossip_lifts_on_star_base(self):
+        from repro.graphs.builders import star_graph
+
+        g = star_graph(5, values=["h", "l", "l", "l", "l"])
+        mb = minimum_base(g)
+        assert verify_lifting_on_outputs(
+            mb.fibration, GossipAlgorithm, list(mb.base.values), rounds=10
+        )
+
+
+class TestCollapse:
+    def test_outputs_coincide_across_sizes(self):
+        outcome = demonstrate_collapse(
+            GossipAlgorithm, n=4, m=8, base_values=[1, 2], rounds=10
+        )
+        assert outcome.lifted
+        # All three executions stabilize on the same support.
+        assert set(outcome.outputs_big) == set(outcome.outputs_other)
+
+    def test_push_sum_defeats_sum(self):
+        # Push-Sum computes the average on both rings — which coincides —
+        # while the sums differ: the certificate that sum is uncomputable.
+        outcome = demonstrate_collapse(
+            PushSumAlgorithm, n=4, m=8, base_values=[1.0, 3.0], rounds=200
+        )
+        assert outcome.lifted
+        big = outcome.outputs_big[0]
+        other = outcome.outputs_other[0]
+        assert big == pytest.approx(other)
+        assert SUM([1.0, 3.0] * 2) != SUM([1.0, 3.0] * 4)
+
+    def test_port_model_collapse(self):
+        outcome = demonstrate_collapse(
+            GossipAlgorithm, n=6, m=12, base_values=[1, 2, 3], rounds=10,
+            model=CM.OUTPUT_PORT_AWARE,
+        )
+        assert outcome.lifted
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            demonstrate_collapse(GossipAlgorithm, n=5, m=8, base_values=[1, 2], rounds=3)
+
+
+class TestCounterexampleCertificates:
+    def test_sum_has_counterexample(self):
+        cert = frequency_counterexample(SUM, [1, 2])
+        assert cert is not None
+        assert cert["f(v)"] != cert["f(w)"]
+        assert cert["n"] == 2 and cert["m"] == 4
+
+    def test_average_has_none(self):
+        assert frequency_counterexample(AVERAGE, [1, 2]) is None
+
+    def test_max_has_none(self):
+        assert frequency_counterexample(MAXIMUM, [1, 2, 3]) is None
+
+
+class TestTwoFibreCovers:
+    @pytest.mark.parametrize("z", [(1, 1), (1, 2), (1, 3), (2, 2), (2, 4), (3, 5)])
+    def test_cover_well_formed(self, z):
+        g = two_fibre_cover(*z)
+        assert g.n == sum(z)
+        assert is_strongly_connected(g)
+        assert g.all_have_self_loops()
+
+    @pytest.mark.parametrize("z", [(1, 2), (1, 3), (2, 2), (2, 4)])
+    def test_fibres_as_requested(self, z):
+        g = two_fibre_cover(*z)
+        mb = minimum_base(g)
+        assert mb.base.n == 2
+        assert sorted(mb.fibre_sizes) == sorted(z)
+
+    def test_shared_base_across_cardinalities(self):
+        from repro.graphs.isomorphism import are_isomorphic
+
+        bases = [minimum_base(two_fibre_cover(*z)).base for z in ((1, 2), (1, 3), (2, 2))]
+        assert are_isomorphic(bases[0], bases[1])
+        assert are_isomorphic(bases[1], bases[2])
+
+    def test_equal_n_different_frequencies(self):
+        # The known-n broadcast counterexample: same size, same base,
+        # different frequencies (footnote a: n >= 4).
+        g1, g2 = two_fibre_cover(1, 3), two_fibre_cover(2, 2)
+        assert g1.n == g2.n == 4
+        from repro.functions.frequency import frequencies_of
+
+        assert frequencies_of(g1.values) != frequencies_of(g2.values)
+
+    def test_gossip_behaves_identically_on_pair(self):
+        # Lifting through the shared base: outputs on both covers are the
+        # base outputs copied fibrewise.
+        for z in ((1, 3), (2, 2)):
+            g = two_fibre_cover(*z)
+            mb = minimum_base(g)
+            assert verify_lifting_on_outputs(
+                mb.fibration, GossipAlgorithm, list(mb.base.values), rounds=10
+            )
+
+    def test_invalid_cardinalities(self):
+        with pytest.raises(ValueError):
+            two_fibre_cover(2, 1)
+        with pytest.raises(ValueError):
+            two_fibre_cover(0, 3)

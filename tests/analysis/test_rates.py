@@ -1,0 +1,64 @@
+"""Unit tests for the proof-trace machinery in repro.analysis.rates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rates import trace_push_sum, verify_proof_invariants
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.graphs.builders import bidirectional_ring, directed_ring
+
+
+class TestTrace:
+    def test_shapes(self):
+        net = StaticAsDynamic(directed_ring(4))
+        trace = trace_push_sum(net, [1.0, 2.0, 3.0, 4.0], rounds=7)
+        assert len(trace.a_matrices) == 7
+        assert len(trace.b_matrices) == 7
+        assert len(trace.z_history) == 8
+        assert len(trace.x_history) == 8
+
+    def test_initial_state_recorded(self):
+        net = StaticAsDynamic(directed_ring(3))
+        trace = trace_push_sum(net, [2.0, 4.0, 6.0], weights=[1.0, 2.0, 1.0], rounds=3)
+        np.testing.assert_allclose(trace.z_history[0], [1.0, 2.0, 1.0])
+        np.testing.assert_allclose(trace.x_history[0], [2.0, 2.0, 6.0])
+
+    def test_b_factorization(self):
+        # B(t) = diag(z(t))^-1 A(t) diag(z(t-1)) reproduces the estimate
+        # recursion x(t) = B(t) x(t-1).
+        net = StaticAsDynamic(bidirectional_ring(4))
+        trace = trace_push_sum(net, [3.0, 1.0, 4.0, 1.0], rounds=6)
+        for t in range(1, 7):
+            np.testing.assert_allclose(
+                trace.x_history[t],
+                trace.b_matrices[t - 1] @ trace.x_history[t - 1],
+                rtol=1e-12,
+            )
+
+    def test_validation(self):
+        net = StaticAsDynamic(directed_ring(3))
+        with pytest.raises(ValueError):
+            trace_push_sum(net, [1.0, 2.0], rounds=2)
+        with pytest.raises(ValueError):
+            trace_push_sum(net, [1.0, 2.0, 3.0], weights=[1.0, -1.0, 1.0], rounds=2)
+
+
+class TestVerifier:
+    def test_clean_trace_passes(self):
+        net = StaticAsDynamic(bidirectional_ring(4))
+        trace = trace_push_sum(net, [3.0, 1.0, 4.0, 1.0], rounds=12)
+        assert verify_proof_invariants(trace, d=2, n=4) == []
+
+    def test_catches_broken_row_stochasticity(self):
+        net = StaticAsDynamic(directed_ring(3))
+        trace = trace_push_sum(net, [1.0, 2.0, 3.0], rounds=6)
+        trace.b_matrices[2] = trace.b_matrices[2] * 1.5
+        problems = verify_proof_invariants(trace, d=2, n=3)
+        assert any("row-stochastic" in p for p in problems)
+
+    def test_catches_envelope_violation(self):
+        net = StaticAsDynamic(directed_ring(3))
+        trace = trace_push_sum(net, [1.0, 2.0, 3.0], rounds=6)
+        trace.z_history[4] = trace.z_history[4] * 10
+        problems = verify_proof_invariants(trace, d=2, n=3)
+        assert any("exceeds the total weight" in p for p in problems)

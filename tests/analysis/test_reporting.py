@@ -1,0 +1,71 @@
+"""Tests for the plain-text table renderer."""
+
+from repro.analysis.reporting import render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a " in lines[1]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # perfectly aligned
+
+    def test_title(self):
+        out = render_table(["x"], [["y"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_ragged_rows_padded(self):
+        out = render_table(["a", "b", "c"], [["1"]])
+        assert out.count("|") > 0
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1
+
+    def test_non_string_cells(self):
+        out = render_table(["n"], [[42], [None]])
+        assert "42" in out and "None" in out
+
+
+class TestCsvExport:
+    def test_to_csv(self):
+        from repro.analysis.reporting import to_csv
+
+        text = to_csv(["a", "b"], [[1, 2], ["x,y", 3]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == '"x,y",3'  # commas quoted
+
+    def test_trace_csv_exact_mode(self):
+        from repro.algorithms.gossip import GossipAlgorithm
+        from repro.analysis.reporting import trace_csv
+        from repro.core.convergence import run_until_stable
+        from repro.core.execution import Execution
+        from repro.graphs.builders import bidirectional_ring
+
+        ex = Execution(GossipAlgorithm(max), bidirectional_ring(4), inputs=[1, 2, 3, 4])
+        report = run_until_stable(ex, 10, patience=3)
+        text = trace_csv(report)
+        lines = text.strip().splitlines()
+        assert lines[0] == "round,value"
+        assert len(lines) == report.rounds_run + 1
+        assert lines[-1].endswith(",4")
+
+    def test_trace_csv_asymptotic_mode(self):
+        from repro.algorithms.push_sum import PushSumAlgorithm
+        from repro.analysis.reporting import trace_csv
+        from repro.core.convergence import run_until_asymptotic
+        from repro.core.execution import Execution
+        from repro.graphs.builders import bidirectional_ring
+
+        ex = Execution(PushSumAlgorithm(), bidirectional_ring(4), inputs=[1.0, 2.0, 3.0, 4.0])
+        report = run_until_asymptotic(ex, 50, tolerance=1e-6)
+        text = trace_csv(report, series_name="spread")
+        assert text.splitlines()[0] == "round,spread"
+        # Spreads shrink: the last recorded value is below the first.
+        import csv as _csv
+        import io
+
+        rows = list(_csv.reader(io.StringIO(text)))[1:]
+        assert float(rows[-1][1]) < float(rows[0][1])

@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+
+# Property tests run whole simulations per example; wall-clock deadlines
+# only produce flaky failures under load.  Examples stay bounded by each
+# test's max_examples instead.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+from repro.graphs.builders import (
+    bidirectional_ring,
+    random_strongly_connected,
+    random_symmetric_connected,
+)
+
+
+@pytest.fixture
+def ring6():
+    return bidirectional_ring(6)
+
+
+@pytest.fixture
+def valued_ring6():
+    return bidirectional_ring(6, values=[1, 2, 1, 2, 1, 2])
+
+
+@pytest.fixture
+def inputs6():
+    # Multiplicities 1:3, 4:2, 3:1 — the three function classes all
+    # distinguish this vector from its reductions.
+    return [3, 1, 1, 4, 1, 4]
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seed(request):
+    return request.param
+
+
+@pytest.fixture
+def random_digraph(seed):
+    return random_strongly_connected(7, seed=seed)
+
+
+@pytest.fixture
+def random_symmetric(seed):
+    return random_symmetric_connected(7, seed=seed)
+
+
+def random_valued_graph(n: int, seed: int, symmetric: bool = False, values=None):
+    """A deterministic random test graph with input values attached."""
+    build = random_symmetric_connected if symmetric else random_strongly_connected
+    g = build(n, seed=seed)
+    if values is None:
+        rng = random.Random(seed + 1000)
+        values = [rng.choice([1, 2, 7]) for _ in range(n)]
+    return g.with_values(values)

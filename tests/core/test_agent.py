@@ -1,0 +1,74 @@
+"""Tests for the algorithm base classes and their contracts."""
+
+import pytest
+
+from repro.core.agent import (
+    Algorithm,
+    BroadcastAlgorithm,
+    OutdegreeAlgorithm,
+    OutputPortAlgorithm,
+)
+from repro.core.models import CommunicationModel
+
+
+class TestAbstractness:
+    def test_cannot_instantiate_bases(self):
+        for cls in (Algorithm, BroadcastAlgorithm, OutdegreeAlgorithm, OutputPortAlgorithm):
+            with pytest.raises(TypeError):
+                cls()
+
+    def test_partial_implementation_rejected(self):
+        class Half(BroadcastAlgorithm):
+            def initial_state(self, input_value):
+                return None
+
+        with pytest.raises(TypeError):
+            Half()
+
+
+class TestDeclaredModels:
+    def test_defaults(self):
+        class B(BroadcastAlgorithm):
+            def initial_state(self, v):
+                return v
+
+            def message(self, s):
+                return s
+
+            def transition(self, s, r):
+                return s
+
+            def output(self, s):
+                return s
+
+        assert B().model is CommunicationModel.SIMPLE_BROADCAST
+        assert B().name() == "B"
+
+    def test_model_override_for_symmetric(self):
+        class S(BroadcastAlgorithm):
+            model = CommunicationModel.SYMMETRIC
+
+            def initial_state(self, v):
+                return v
+
+            def message(self, s):
+                return s
+
+            def transition(self, s, r):
+                return s
+
+            def output(self, s):
+                return s
+
+        assert S().model is CommunicationModel.SYMMETRIC
+
+    def test_library_algorithms_declare_models(self):
+        from repro.algorithms.gossip import GossipAlgorithm
+        from repro.algorithms.history_tree import HistoryTreeAlgorithm
+        from repro.algorithms.metropolis import MetropolisAlgorithm
+        from repro.algorithms.push_sum import PushSumAlgorithm
+
+        assert GossipAlgorithm().model is CommunicationModel.SIMPLE_BROADCAST
+        assert PushSumAlgorithm().model is CommunicationModel.OUTDEGREE_AWARE
+        assert MetropolisAlgorithm().model is CommunicationModel.OUTDEGREE_AWARE
+        assert HistoryTreeAlgorithm().model is CommunicationModel.SYMMETRIC

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestMainFunction:
+    def test_table1_only(self, capsys):
+        assert main(["--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" not in out
+        assert "every cell agrees" in out
+
+    def test_table2_only(self, capsys):
+        assert main(["--table", "2", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_custom_size_and_seed(self, capsys):
+        assert main(["--table", "1", "--n", "5", "--seed", "2"]) == 0
+
+
+@pytest.mark.slow
+class TestSubprocess:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--table", "1"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "every cell agrees" in result.stdout

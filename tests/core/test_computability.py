@@ -1,0 +1,83 @@
+"""Tests for the computability oracle (Tables 1 and 2, encoded)."""
+
+import pytest
+
+from repro.core.computability import (
+    ROW_ORDER,
+    TABLE1_MODELS,
+    TABLE2_MODELS,
+    computable_class,
+    table1,
+    table2,
+)
+from repro.core.models import CommunicationModel as CM
+from repro.core.network_class import Knowledge as K
+from repro.functions.classes import FunctionClass as FC
+
+
+class TestTable1:
+    def test_broadcast_stays_set_based_at_every_level(self):
+        for knowledge in K:
+            cell = computable_class(CM.SIMPLE_BROADCAST, knowledge)
+            assert cell.function_class is FC.SET_BASED
+
+    @pytest.mark.parametrize(
+        "model", [CM.OUTDEGREE_AWARE, CM.SYMMETRIC, CM.OUTPUT_PORT_AWARE]
+    )
+    def test_enriched_models_agree(self, model):
+        assert computable_class(model, K.NONE).function_class is FC.FREQUENCY_BASED
+        assert computable_class(model, K.BOUND_N).function_class is FC.FREQUENCY_BASED
+        assert computable_class(model, K.EXACT_N).function_class is FC.MULTISET_BASED
+        assert computable_class(model, K.LEADER).function_class is FC.MULTISET_BASED
+
+    def test_all_static_cells_exact(self):
+        for cell in table1().values():
+            assert cell.exact
+
+    def test_full_coverage(self):
+        assert len(table1()) == len(ROW_ORDER) * len(TABLE1_MODELS)
+
+    def test_bound_adds_nothing_exact_n_does(self):
+        none = computable_class(CM.OUTDEGREE_AWARE, K.NONE).function_class
+        bound = computable_class(CM.OUTDEGREE_AWARE, K.BOUND_N).function_class
+        exact = computable_class(CM.OUTDEGREE_AWARE, K.EXACT_N).function_class
+        assert none is bound
+        assert bound < exact
+
+
+class TestTable2:
+    def test_no_port_column(self):
+        with pytest.raises(KeyError):
+            computable_class(CM.OUTPUT_PORT_AWARE, K.NONE, dynamic=True)
+
+    def test_open_cells(self):
+        assert computable_class(CM.OUTDEGREE_AWARE, K.NONE, dynamic=True).open_question
+        assert computable_class(CM.OUTDEGREE_AWARE, K.LEADER, dynamic=True).open_question
+
+    def test_symmetric_column_resolved(self):
+        for knowledge in K:
+            cell = computable_class(CM.SYMMETRIC, knowledge, dynamic=True)
+            assert not cell.open_question
+
+    def test_full_coverage(self):
+        assert len(table2()) == len(ROW_ORDER) * len(TABLE2_MODELS)
+
+    def test_labels(self):
+        open_cell = computable_class(CM.OUTDEGREE_AWARE, K.NONE, dynamic=True)
+        assert open_cell.label() == "?"
+        solid = computable_class(CM.SYMMETRIC, K.EXACT_N, dynamic=True)
+        assert "multiset" in solid.label()
+
+
+class TestMonotonicity:
+    def test_rows_monotone_in_knowledge(self):
+        # More help never shrinks the computable class (where defined).
+        order = [K.NONE, K.BOUND_N, K.EXACT_N]
+        for models, dynamic in ((TABLE1_MODELS, False), (TABLE2_MODELS, True)):
+            for model in models:
+                classes = [
+                    computable_class(model, k, dynamic=dynamic).function_class
+                    for k in order
+                ]
+                known = [c for c in classes if c is not None]
+                assert known == sorted(known, key=lambda c: c.value)

@@ -1,0 +1,101 @@
+"""Tests for the convergence detectors."""
+
+import pytest
+
+from repro.core.agent import BroadcastAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.graphs.builders import complete_graph
+
+
+class SettleAfter(BroadcastAlgorithm):
+    """Outputs its round counter until ``settle_at``, then a constant."""
+
+    def __init__(self, settle_at: int, value="done"):
+        self.settle_at = settle_at
+        self.value = value
+
+    def initial_state(self, input_value):
+        return 0
+
+    def message(self, state):
+        return None
+
+    def transition(self, state, received):
+        return state + 1
+
+    def output(self, state):
+        return self.value if state >= self.settle_at else state
+
+
+class Halver(BroadcastAlgorithm):
+    """Error halves each round: converges asymptotically, never exactly."""
+
+    def initial_state(self, input_value):
+        return float(input_value)
+
+    def message(self, state):
+        return state
+
+    def transition(self, state, received):
+        return sum(received) / len(received)
+
+    def output(self, state):
+        return state
+
+
+class TestRunUntilStable:
+    def test_detects_stabilization_round(self):
+        ex = Execution(SettleAfter(4), complete_graph(3), inputs=[0] * 3)
+        report = run_until_stable(ex, max_rounds=20, patience=3)
+        assert report.converged
+        assert report.value == "done"
+        assert report.stabilization_round == 4
+
+    def test_target_mismatch_blocks_convergence(self):
+        ex = Execution(SettleAfter(2, value="wrong"), complete_graph(3), inputs=[0] * 3)
+        report = run_until_stable(ex, max_rounds=10, patience=2, target="right")
+        assert not report.converged
+
+    def test_never_stable(self):
+        ex = Execution(SettleAfter(10**9), complete_graph(2), inputs=[0, 0])
+        report = run_until_stable(ex, max_rounds=5, patience=2)
+        assert not report.converged
+        assert report.rounds_run == 5
+
+    def test_patience_validation(self):
+        ex = Execution(SettleAfter(1), complete_graph(2), inputs=[0, 0])
+        with pytest.raises(ValueError):
+            run_until_stable(ex, max_rounds=5, patience=0)
+
+    def test_trace_records_unanimity(self):
+        ex = Execution(SettleAfter(2), complete_graph(2), inputs=[0, 0])
+        report = run_until_stable(ex, max_rounds=10, patience=2)
+        assert report.trace[0] == 1  # both output round counter 1 after round 1
+
+
+class TestRunUntilAsymptotic:
+    def test_converges_to_average(self):
+        ex = Execution(Halver(), complete_graph(4), inputs=[0.0, 0.0, 4.0, 4.0])
+        report = run_until_asymptotic(ex, max_rounds=100, tolerance=1e-9, target=2.0)
+        assert report.converged
+        assert report.value == pytest.approx(2.0)
+
+    def test_wrong_target_fails(self):
+        ex = Execution(Halver(), complete_graph(4), inputs=[0.0, 0.0, 4.0, 4.0])
+        report = run_until_asymptotic(ex, max_rounds=50, tolerance=1e-9, target=3.0)
+        assert not report.converged
+
+    def test_output_filter_blocks(self):
+        ex = Execution(Halver(), complete_graph(2), inputs=[1.0, 1.0])
+        report = run_until_asymptotic(
+            ex, max_rounds=5, tolerance=1.0, output_filter=lambda o: False
+        )
+        assert not report.converged
+        assert all(t == float("inf") for t in report.trace)
+
+    def test_early_exit_on_patience(self):
+        ex = Execution(Halver(), complete_graph(2), inputs=[1.0, 1.0])
+        report = run_until_asymptotic(ex, max_rounds=1000, tolerance=1e-3, patience=3)
+        assert report.converged
+        assert report.rounds_run < 1000

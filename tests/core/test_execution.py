@@ -1,0 +1,186 @@
+"""Tests for the synchronous round executor (§2.2)."""
+
+import pytest
+
+from repro.core.agent import BroadcastAlgorithm, OutdegreeAlgorithm, OutputPortAlgorithm
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel
+from repro.dynamics.dynamic_graph import PeriodicDynamicGraph
+from repro.graphs.builders import bidirectional_ring, directed_ring, star_graph
+from repro.graphs.digraph import DiGraph
+
+
+class CountMessages(BroadcastAlgorithm):
+    """State = number of messages received so far (multiset sizes only)."""
+
+    def initial_state(self, input_value):
+        return 0
+
+    def message(self, state):
+        return "ping"
+
+    def transition(self, state, received):
+        return state + len(received)
+
+    def output(self, state):
+        return state
+
+
+class EchoOutdegree(OutdegreeAlgorithm):
+    """Broadcasts its current outdegree; state = sorted received tuple."""
+
+    def initial_state(self, input_value):
+        return ()
+
+    def message(self, state, outdegree):
+        return outdegree
+
+    def transition(self, state, received):
+        return tuple(sorted(received))
+
+    def output(self, state):
+        return state
+
+
+class PortSpray(OutputPortAlgorithm):
+    """Sends its port number on each port; state = multiset received."""
+
+    def initial_state(self, input_value):
+        return ()
+
+    def messages(self, state, outdegree):
+        return list(range(outdegree))
+
+    def transition(self, state, received):
+        return tuple(sorted(received))
+
+    def output(self, state):
+        return state
+
+
+class BadPortCount(OutputPortAlgorithm):
+    def initial_state(self, input_value):
+        return None
+
+    def messages(self, state, outdegree):
+        return [0]  # wrong length unless outdegree == 1
+
+    def transition(self, state, received):
+        return state
+
+    def output(self, state):
+        return state
+
+
+class TestDelivery:
+    def test_indegree_messages_per_round(self):
+        g = directed_ring(4)  # indegree 2 everywhere (pred + self)
+        ex = Execution(CountMessages(), g, inputs=[0] * 4)
+        ex.run(3)
+        assert ex.outputs() == [6, 6, 6, 6]
+
+    def test_star_counts(self):
+        g = star_graph(4)
+        ex = Execution(CountMessages(), g, inputs=[0] * 4)
+        ex.step()
+        assert ex.outputs() == [4, 2, 2, 2]  # hub: 3 leaves + self
+
+    def test_outdegree_passed_to_sender(self):
+        g = star_graph(3)  # hub outdegree 3, leaves 2
+        ex = Execution(EchoOutdegree(), g, inputs=[0] * 3)
+        ex.step()
+        # Leaf receives hub's message (3) and its own (2).
+        assert ex.outputs()[1] == (2, 3)
+        assert ex.outputs()[0] == (2, 2, 3)
+
+    def test_ports_deliver_distinct_messages(self):
+        g = directed_ring(3)
+        ex = Execution(PortSpray(), g, inputs=[0] * 3)
+        ex.step()
+        # Each vertex gets one message per in-edge: ports are 0/1 per
+        # sender (self-loop port and the ring edge port).
+        for out in ex.outputs():
+            assert len(out) == 2
+
+    def test_wrong_port_count_raises(self):
+        g = directed_ring(3)
+        ex = Execution(BadPortCount(), g, inputs=[0] * 3)
+        with pytest.raises(ValueError):
+            ex.step()
+
+
+class TestScrambling:
+    def test_scrambling_changes_order_not_multiset(self):
+        class RecordOrder(BroadcastAlgorithm):
+            def initial_state(self, input_value):
+                return (input_value, ())
+
+            def message(self, state):
+                return state[0]
+
+            def transition(self, state, received):
+                return (state[0], received)
+
+            def output(self, state):
+                return state[1]
+
+        g = star_graph(4, values=None)
+        a = Execution(RecordOrder(), g, inputs=[0, 1, 2, 3], scramble_seed=1).run(1)
+        b = Execution(RecordOrder(), g, inputs=[0, 1, 2, 3], scramble_seed=2).run(1)
+        assert sorted(a.outputs()[0]) == sorted(b.outputs()[0])
+
+    def test_no_scrambling_is_deterministic(self):
+        g = bidirectional_ring(5)
+        a = Execution(CountMessages(), g, inputs=[0] * 5, scramble_seed=None).run(2)
+        b = Execution(CountMessages(), g, inputs=[0] * 5, scramble_seed=None).run(2)
+        assert a.outputs() == b.outputs()
+
+
+class TestModelEnforcement:
+    def test_symmetric_model_rejects_asymmetric_graph(self):
+        class SymCount(CountMessages):
+            model = CommunicationModel.SYMMETRIC
+
+        g = directed_ring(4)
+        ex = Execution(SymCount(), g, inputs=[0] * 4)
+        with pytest.raises(ValueError, match="not symmetric"):
+            ex.step()
+
+    def test_port_model_rejects_dynamic_graph(self):
+        dyn = PeriodicDynamicGraph([directed_ring(3), bidirectional_ring(3)])
+        with pytest.raises(ValueError, match="static"):
+            Execution(PortSpray(), dyn, inputs=[0] * 3)
+
+    def test_self_loops_required(self):
+        g = DiGraph(2, [(0, 1), (1, 0)])  # no self-loops
+        ex = Execution(CountMessages(), g, inputs=[0, 0])
+        with pytest.raises(ValueError, match="self-loop"):
+            ex.step()
+
+
+class TestInitialization:
+    def test_inputs_or_states_required(self):
+        with pytest.raises(ValueError):
+            Execution(CountMessages(), directed_ring(3))
+
+    def test_input_length_checked(self):
+        with pytest.raises(ValueError):
+            Execution(CountMessages(), directed_ring(3), inputs=[0])
+
+    def test_explicit_states_override(self):
+        g = directed_ring(3)
+        ex = Execution(CountMessages(), g, initial_states=[10, 20, 30])
+        assert ex.outputs() == [10, 20, 30]
+
+    def test_unanimous_output(self):
+        g = directed_ring(3)
+        ex = Execution(CountMessages(), g, inputs=[0] * 3)
+        assert ex.unanimous_output() == 0
+        ex2 = Execution(CountMessages(), g, initial_states=[1, 2, 3])
+        assert ex2.unanimous_output() is None
+
+    def test_round_counter(self):
+        ex = Execution(CountMessages(), directed_ring(3), inputs=[0] * 3)
+        assert ex.round_number == 0
+        ex.run(5)
+        assert ex.round_number == 5

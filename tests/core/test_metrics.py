@@ -1,0 +1,51 @@
+"""Tests for the metric-space layer (§2.3)."""
+
+import pytest
+
+from repro.core.metrics import discrete_metric, euclidean_metric, spread
+
+
+class TestDiscreteMetric:
+    def test_equal(self):
+        assert discrete_metric(1, 1) == 0.0
+        assert discrete_metric("a", "a") == 0.0
+
+    def test_different(self):
+        assert discrete_metric(1, 2) == 1.0
+        assert discrete_metric(1, "1") == 1.0
+
+    def test_unorderable_values(self):
+        assert discrete_metric({1: 2}, {1: 2}) == 0.0
+        assert discrete_metric({1: 2}, {1: 3}) == 1.0
+
+
+class TestEuclideanMetric:
+    def test_scalars(self):
+        assert euclidean_metric(1.0, 4.0) == 3.0
+
+    def test_vectors(self):
+        assert euclidean_metric((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_mixed_numeric_types(self):
+        from fractions import Fraction
+
+        assert euclidean_metric(Fraction(1, 2), 0.5) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_metric((1, 2), (1, 2, 3))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_metric("abc", "abd")
+
+
+class TestSpread:
+    def test_consensus_zero(self):
+        assert spread([2.0, 2.0, 2.0]) == 0.0
+
+    def test_max_pairwise(self):
+        assert spread([1.0, 5.0, 3.0]) == 4.0
+
+    def test_with_discrete_metric(self):
+        assert spread(["a", "a", "b"], metric=discrete_metric) == 1.0

@@ -1,0 +1,25 @@
+"""Tests for the communication-model enumeration."""
+
+from repro.core.models import CommunicationModel as CM
+
+
+class TestModelProperties:
+    def test_isotropic(self):
+        assert CM.SIMPLE_BROADCAST.isotropic
+        assert CM.OUTDEGREE_AWARE.isotropic
+        assert CM.SYMMETRIC.isotropic
+        assert not CM.OUTPUT_PORT_AWARE.isotropic
+
+    def test_symmetry_requirement(self):
+        assert CM.SYMMETRIC.requires_symmetric_network
+        assert not CM.SIMPLE_BROADCAST.requires_symmetric_network
+
+    def test_static_only(self):
+        assert CM.OUTPUT_PORT_AWARE.static_only
+        assert not CM.OUTDEGREE_AWARE.static_only
+
+    def test_sees_outdegree(self):
+        assert CM.OUTDEGREE_AWARE.sees_outdegree
+        assert CM.OUTPUT_PORT_AWARE.sees_outdegree
+        assert not CM.SIMPLE_BROADCAST.sees_outdegree
+        assert not CM.SYMMETRIC.sees_outdegree

@@ -1,0 +1,31 @@
+"""Tests for network class specifications."""
+
+import pytest
+
+from repro.core.models import CommunicationModel as CM
+from repro.core.network_class import Knowledge, NetworkClassSpec
+
+
+class TestNetworkClassSpec:
+    def test_bound_requires_value(self):
+        with pytest.raises(ValueError):
+            NetworkClassSpec(CM.SYMMETRIC, Knowledge.BOUND_N)
+
+    def test_exact_requires_value(self):
+        with pytest.raises(ValueError):
+            NetworkClassSpec(CM.SYMMETRIC, Knowledge.EXACT_N)
+
+    def test_ports_cannot_be_dynamic(self):
+        with pytest.raises(ValueError):
+            NetworkClassSpec(CM.OUTPUT_PORT_AWARE, Knowledge.NONE, dynamic=True)
+
+    def test_valid_specs(self):
+        spec = NetworkClassSpec(CM.OUTDEGREE_AWARE, Knowledge.EXACT_N, n_bound=8)
+        assert "static" in spec.describe()
+        dyn = NetworkClassSpec(CM.SYMMETRIC, Knowledge.LEADER, dynamic=True)
+        assert "dynamic" in dyn.describe()
+
+    def test_frozen(self):
+        spec = NetworkClassSpec(CM.SYMMETRIC, Knowledge.NONE)
+        with pytest.raises(AttributeError):
+            spec.dynamic = True

@@ -1,0 +1,47 @@
+"""Regression: unanimity must not depend on set iteration order.
+
+Two equal frozensets can print in different orders (their layout depends
+on insertion history and the per-process hash seed), so comparing
+outputs by ``repr`` spuriously broke unanimity for set-valued outputs on
+a fraction of hash seeds.  These tests pin the ``==``-first behavior.
+"""
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.graphs.builders import bidirectional_ring, complete_graph
+
+
+def adversarial_sets(values):
+    """Equal frozensets built along different insertion orders."""
+    import itertools
+
+    variants = []
+    for perm in itertools.permutations(values):
+        s = frozenset()
+        for v in perm:
+            s = s | frozenset([v])
+        variants.append(s)
+    return variants
+
+
+class TestSetValuedUnanimity:
+    def test_unanimous_despite_construction_order(self):
+        # Plant states that are equal sets built in every insertion order.
+        values = ("x", "y", "z", "w")
+        variants = adversarial_sets(values)[:4]
+        g = complete_graph(4)
+        ex = Execution(GossipAlgorithm(), g, initial_states=variants)
+        assert ex.unanimous_output() == frozenset(values)
+
+    def test_gossip_stabilizes_on_string_values(self):
+        g = bidirectional_ring(4)
+        ex = Execution(GossipAlgorithm(), g, inputs=["x", "y", "x", "z"])
+        report = run_until_stable(ex, 20, patience=4, target=frozenset({"x", "y", "z"}))
+        assert report.converged
+
+    def test_disagreement_still_detected(self):
+        g = complete_graph(3)
+        states = [frozenset({"a"}), frozenset({"a"}), frozenset({"b"})]
+        ex = Execution(GossipAlgorithm(), g, initial_states=states)
+        assert ex.unanimous_output() is None

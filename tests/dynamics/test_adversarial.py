@@ -1,0 +1,88 @@
+"""Tests for the adversarial dynamic schedules."""
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.dynamics.adversarial import (
+    bottleneck_dynamic,
+    rooted_tree_dynamic,
+    rotating_star_dynamic,
+)
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.generators import random_dynamic_strongly_connected
+from repro.graphs.properties import is_strongly_connected, is_symmetric
+
+INPUTS = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+AVG = sum(INPUTS) / 6
+
+
+class TestSchedules:
+    def test_rotating_star_shape(self):
+        dyn = rotating_star_dynamic(6)
+        g1, g2 = dyn.graph_at(1), dyn.graph_at(2)
+        assert is_symmetric(g1)
+        assert g1.outdegree(1 % 6) == 6  # hub of round 1
+        assert g2.outdegree(2 % 6) == 6
+        # Relaying hops through a *different* hub each round, so the
+        # dynamic diameter is small but greater than the per-round 2.
+        assert 2 < dynamic_diameter(dyn, horizon=6) <= 6
+
+    def test_rooted_tree_connected_over_two_rounds(self):
+        dyn = rooted_tree_dynamic(6, seed=1)
+        for t in range(1, 5):
+            assert is_strongly_connected(dyn.graph_at(t))
+
+    def test_bottleneck_diameter(self):
+        dyn = bottleneck_dynamic(6, bridge_every=3)
+        d = dynamic_diameter(dyn, horizon=6)
+        assert 2 <= d <= 5  # must wait for the bridge
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rotating_star_dynamic(1)
+        with pytest.raises(ValueError):
+            bottleneck_dynamic(3)
+
+
+class TestAlgorithmsOnAdversarialSchedules:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: rotating_star_dynamic(6),
+            lambda: rooted_tree_dynamic(6, seed=2),
+            lambda: bottleneck_dynamic(6, bridge_every=3),
+        ],
+        ids=["rotating-star", "rooted-tree", "bottleneck"],
+    )
+    def test_push_sum_converges(self, make):
+        ex = Execution(PushSumAlgorithm(), make(), inputs=INPUTS)
+        report = run_until_asymptotic(ex, 4000, tolerance=1e-7, target=AVG)
+        assert report.converged
+
+    def test_metropolis_on_rotating_star(self):
+        ex = Execution(MetropolisAlgorithm(), rotating_star_dynamic(6), inputs=INPUTS)
+        report = run_until_asymptotic(ex, 4000, tolerance=1e-7, target=AVG)
+        assert report.converged
+
+    def test_gossip_on_bottleneck(self):
+        dyn = bottleneck_dynamic(6, bridge_every=4)
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[1, 2, 3, 9, 4, 5])
+        report = run_until_stable(ex, 40, patience=4, target=9)
+        assert report.converged
+
+    def test_bottleneck_slower_than_random(self):
+        # The shape claim: the bottleneck schedule mixes more slowly than a
+        # random dense dynamic graph of the same size.
+        def rounds(net):
+            ex = Execution(PushSumAlgorithm(), net, inputs=INPUTS)
+            report = run_until_asymptotic(ex, 6000, tolerance=1e-8, target=AVG)
+            assert report.converged
+            return report.stabilization_round
+
+        slow = rounds(bottleneck_dynamic(6, bridge_every=4))
+        fast = rounds(random_dynamic_strongly_connected(6, seed=3))
+        assert slow > fast

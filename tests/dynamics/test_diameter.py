@@ -1,0 +1,44 @@
+"""Tests for dynamic diameter computation (§2.1)."""
+
+import pytest
+
+from repro.dynamics.diameter import dynamic_diameter, window_to_completeness
+from repro.dynamics.dynamic_graph import PeriodicDynamicGraph, StaticAsDynamic
+from repro.graphs.builders import complete_graph, directed_ring
+from repro.graphs.digraph import DiGraph
+
+
+class TestWindowToCompleteness:
+    def test_complete_graph_window_one(self):
+        dyn = StaticAsDynamic(complete_graph(4))
+        assert window_to_completeness(dyn, 1, 5) == 1
+
+    def test_directed_ring_needs_n_minus_one(self):
+        dyn = StaticAsDynamic(directed_ring(5))
+        assert window_to_completeness(dyn, 1, 10) == 4
+
+    def test_none_when_never_complete(self):
+        quiet = DiGraph(3, [], ensure_self_loops=True)
+        dyn = StaticAsDynamic(quiet)
+        assert window_to_completeness(dyn, 1, 5) is None
+
+
+class TestDynamicDiameter:
+    def test_static_matches_diameter(self):
+        assert dynamic_diameter(StaticAsDynamic(directed_ring(6)), horizon=3) == 5
+
+    def test_disconnected_rounds_allowed(self):
+        # Alternating quiet/complete rounds: from a quiet round the window
+        # needs 2 rounds; the dynamic diameter is 2 (§2.1's remark).
+        quiet = DiGraph(4, [], ensure_self_loops=True)
+        dyn = PeriodicDynamicGraph([quiet, complete_graph(4)])
+        assert dynamic_diameter(dyn, horizon=4) == 2
+
+    def test_infinite_diameter_detected(self):
+        quiet = DiGraph(3, [], ensure_self_loops=True)
+        with pytest.raises(ValueError, match="infinite"):
+            dynamic_diameter(StaticAsDynamic(quiet), horizon=2, max_diameter=10)
+
+    def test_horizon_validated(self):
+        with pytest.raises(ValueError):
+            dynamic_diameter(StaticAsDynamic(complete_graph(2)), horizon=0)

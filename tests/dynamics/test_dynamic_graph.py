@@ -1,0 +1,76 @@
+"""Tests for dynamic graph wrappers."""
+
+import pytest
+
+from repro.dynamics.dynamic_graph import (
+    FunctionDynamicGraph,
+    PeriodicDynamicGraph,
+    SequenceDynamicGraph,
+    StaticAsDynamic,
+)
+from repro.graphs.builders import bidirectional_ring, directed_ring
+
+
+class TestStaticAsDynamic:
+    def test_constant(self):
+        g = directed_ring(4)
+        dyn = StaticAsDynamic(g)
+        assert dyn.graph_at(1) is g
+        assert dyn.graph_at(100) is g
+
+    def test_round_numbering(self):
+        dyn = StaticAsDynamic(directed_ring(3))
+        with pytest.raises(ValueError):
+            dyn.graph_at(0)
+
+
+class TestSequence:
+    def test_last_repeats(self):
+        a, b = directed_ring(3), bidirectional_ring(3)
+        dyn = SequenceDynamicGraph([a, b])
+        assert dyn.graph_at(1) is a
+        assert dyn.graph_at(2) is b
+        assert dyn.graph_at(50) is b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceDynamicGraph([])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceDynamicGraph([directed_ring(3), directed_ring(4)])
+
+
+class TestPeriodic:
+    def test_cycling(self):
+        a, b = directed_ring(3), bidirectional_ring(3)
+        dyn = PeriodicDynamicGraph([a, b])
+        assert dyn.graph_at(1) is a
+        assert dyn.graph_at(2) is b
+        assert dyn.graph_at(3) is a
+        assert dyn.graph_at(4) is b
+
+
+class TestFunctionGraph:
+    def test_memoization(self):
+        calls = []
+
+        def fn(t):
+            calls.append(t)
+            return directed_ring(3)
+
+        dyn = FunctionDynamicGraph(3, fn)
+        dyn.graph_at(1)
+        dyn.graph_at(1)
+        assert calls == [1]
+
+    def test_size_validated(self):
+        dyn = FunctionDynamicGraph(4, lambda t: directed_ring(3))
+        with pytest.raises(ValueError):
+            dyn.graph_at(1)
+
+    def test_window(self):
+        dyn = PeriodicDynamicGraph([directed_ring(3), bidirectional_ring(3)])
+        w = dyn.window(1, 3)
+        assert len(w) == 3
+        assert w[0] is w[2]

@@ -1,0 +1,57 @@
+"""Tests for random dynamic graph generators."""
+
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.generators import (
+    random_dynamic_strongly_connected,
+    random_dynamic_symmetric,
+    sparse_pulsed_dynamic,
+)
+from repro.graphs.properties import is_strongly_connected, is_symmetric
+
+
+class TestRandomDynamic:
+    def test_symmetric_every_round(self):
+        dyn = random_dynamic_symmetric(6, seed=1)
+        for t in range(1, 8):
+            g = dyn.graph_at(t)
+            assert is_symmetric(g)
+            assert is_strongly_connected(g)
+            assert g.all_have_self_loops()
+
+    def test_strongly_connected_every_round(self):
+        dyn = random_dynamic_strongly_connected(6, seed=1)
+        for t in range(1, 8):
+            assert is_strongly_connected(dyn.graph_at(t))
+
+    def test_determinism(self):
+        a = random_dynamic_symmetric(5, seed=9)
+        b = random_dynamic_symmetric(5, seed=9)
+        for t in range(1, 6):
+            assert a.graph_at(t) == b.graph_at(t)
+
+    def test_rounds_differ(self):
+        dyn = random_dynamic_strongly_connected(6, seed=2)
+        assert any(dyn.graph_at(1) != dyn.graph_at(t) for t in range(2, 6))
+
+    def test_finite_dynamic_diameter(self):
+        dyn = random_dynamic_symmetric(5, seed=3)
+        assert dynamic_diameter(dyn, horizon=4) <= 4  # connected rounds: <= n-1
+
+
+class TestPulsed:
+    def test_quiet_rounds_are_isolated(self):
+        dyn = sparse_pulsed_dynamic(5, pulse_every=3, seed=0)
+        g1 = dyn.graph_at(1)
+        assert g1.num_edges == 5  # self-loops only
+        g3 = dyn.graph_at(3)
+        assert is_strongly_connected(g3)
+
+    def test_diameter_finite_despite_disconnection(self):
+        dyn = sparse_pulsed_dynamic(4, pulse_every=2, seed=1)
+        d = dynamic_diameter(dyn, horizon=4)
+        assert d >= 2  # cannot complete without a pulse
+        assert d <= 2 * 4  # bounded by pulses
+
+    def test_directed_variant(self):
+        dyn = sparse_pulsed_dynamic(5, pulse_every=2, seed=2, symmetric=False)
+        assert is_strongly_connected(dyn.graph_at(2))

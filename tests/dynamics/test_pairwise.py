@@ -1,0 +1,67 @@
+"""Tests for the population-protocol-style pairwise scheduler."""
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.pairwise import random_matching_dynamic
+from repro.graphs.properties import is_symmetric
+
+
+class TestScheduler:
+    def test_degree_at_most_one(self):
+        dyn = random_matching_dynamic(7, seed=1)
+        for t in range(1, 10):
+            g = dyn.graph_at(t)
+            for v in g.vertices():
+                # self-loop + at most one partner
+                assert g.outdegree(v) <= 2
+                assert is_symmetric(g)
+
+    def test_maximal_matching_pairs_everyone_even(self):
+        dyn = random_matching_dynamic(6, seed=2)
+        g = dyn.graph_at(1)
+        paired = sum(1 for v in g.vertices() if g.outdegree(v) == 2)
+        assert paired == 6
+
+    def test_odd_leaves_one_single(self):
+        dyn = random_matching_dynamic(5, seed=3)
+        g = dyn.graph_at(1)
+        paired = sum(1 for v in g.vertices() if g.outdegree(v) == 2)
+        assert paired == 4
+
+    def test_finite_dynamic_diameter_in_practice(self):
+        dyn = random_matching_dynamic(5, seed=4)
+        d = dynamic_diameter(dyn, horizon=3, max_diameter=400)
+        assert d >= 3  # degree-1 rounds cannot complete quickly
+        assert d < 400
+
+
+class TestAlgorithmsOnMatchings:
+    def test_gossip(self):
+        dyn = random_matching_dynamic(6, seed=5)
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[1, 5, 2, 5, 3, 4])
+        report = run_until_stable(ex, 100, patience=5, target=5)
+        assert report.converged
+
+    def test_metropolis_average(self):
+        dyn = random_matching_dynamic(6, seed=6)
+        inputs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        ex = Execution(MetropolisAlgorithm(), dyn, inputs=inputs)
+        report = run_until_asymptotic(ex, 4000, tolerance=1e-6, target=sum(inputs) / 6)
+        assert report.converged
+
+    def test_history_tree_exact_frequencies(self):
+        # The population-protocol bridge: exact frequency computation over
+        # pure pairwise interactions.
+        from fractions import Fraction
+
+        dyn = random_matching_dynamic(4, seed=7)
+        ex = Execution(HistoryTreeAlgorithm(), dyn, inputs=[1, 1, 2, 1])
+        report = run_until_stable(ex, 60, patience=5)
+        assert report.converged
+        assert report.value == {1: Fraction(3, 4), 2: Fraction(1, 4)}

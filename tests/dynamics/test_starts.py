@@ -1,0 +1,49 @@
+"""Tests for asynchronous starts as graph masking (§2.2, §5.3)."""
+
+import pytest
+
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.starts import AsynchronousStartGraph
+from repro.graphs.builders import complete_graph
+
+
+class TestMasking:
+    def test_sleeping_agents_keep_only_self_loops(self):
+        base = StaticAsDynamic(complete_graph(3))
+        masked = AsynchronousStartGraph(base, [1, 1, 3])
+        g1 = masked.graph_at(1)
+        # Agent 2 is asleep: no edges to or from it except its self-loop.
+        assert g1.out_neighbors(2) == [2]
+        assert g1.in_neighbors(2) == [2]
+        # Agents 0 and 1 talk normally.
+        assert g1.has_edge(0, 1)
+
+    def test_edges_appear_at_max_of_starts(self):
+        base = StaticAsDynamic(complete_graph(2))
+        masked = AsynchronousStartGraph(base, [2, 4])
+        assert not masked.graph_at(3).has_edge(0, 1)
+        assert masked.graph_at(4).has_edge(0, 1)
+
+    def test_all_started_equals_base(self):
+        base = StaticAsDynamic(complete_graph(3))
+        masked = AsynchronousStartGraph(base, [1, 2, 2])
+        assert masked.graph_at(2) == base.graph_at(2)
+
+    def test_validation(self):
+        base = StaticAsDynamic(complete_graph(3))
+        with pytest.raises(ValueError):
+            AsynchronousStartGraph(base, [1, 2])
+        with pytest.raises(ValueError):
+            AsynchronousStartGraph(base, [0, 1, 1])
+
+    def test_latest_start(self):
+        base = StaticAsDynamic(complete_graph(3))
+        assert AsynchronousStartGraph(base, [1, 5, 2]).latest_start == 5
+
+    def test_diameter_bound(self):
+        # Dynamic diameter of the masked graph <= max(s_i) + D (§5.3).
+        base = StaticAsDynamic(complete_graph(4))
+        masked = AsynchronousStartGraph(base, [1, 2, 3, 3])
+        d = dynamic_diameter(masked, horizon=4)
+        assert d <= masked.latest_start + 1

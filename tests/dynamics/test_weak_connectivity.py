@@ -1,0 +1,93 @@
+"""Tests for the §6 weak-connectivity regime (Moreau's setting)."""
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.metropolis import MetropolisAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.dynamics.weak_connectivity import (
+    certify_unbounded_diameter,
+    eventually_split_dynamic,
+    growing_gap_dynamic,
+)
+
+INPUTS = [3.0, 1.0, 4.0, 1.0, 5.0]
+AVG = sum(INPUTS) / 5
+
+
+class TestGenerators:
+    def test_growing_gaps_grow(self):
+        dyn = growing_gap_dynamic(5, seed=1)
+        windows = certify_unbounded_diameter(dyn, starts=[3, 9, 33, 65], cap=512)
+        assert windows is not None
+        # Window from round t must reach the next power-of-two pulse:
+        # strictly growing along the probe points.
+        assert windows == sorted(windows)
+        assert windows[-1] > windows[0]
+
+    def test_quiet_rounds_are_isolated(self):
+        dyn = growing_gap_dynamic(4, seed=2)
+        g3 = dyn.graph_at(3)
+        assert g3.num_edges == 4  # self-loops only
+
+    def test_split_really_splits(self):
+        dyn = eventually_split_dynamic(6, split_at=4, seed=0)
+        g = dyn.graph_at(10)
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            v = frontier.pop()
+            for w in g.out_neighbors(v):
+                if w not in reachable:
+                    reachable.add(w)
+                    frontier.append(w)
+        assert reachable == {0, 1, 2}
+
+
+class TestAlgorithmsUnderWeakConnectivity:
+    def test_gossip_still_computes_set_functions(self):
+        dyn = growing_gap_dynamic(5, seed=3)
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[1, 9, 2, 9, 5])
+        report = run_until_stable(ex, 80, patience=10, target=9)
+        assert report.converged
+
+    def test_metropolis_converges_moreau(self):
+        # Moreau's theorem covers symmetric models with recurrent
+        # connectivity: Metropolis still reaches average consensus.
+        dyn = growing_gap_dynamic(5, seed=4)
+        ex = Execution(MetropolisAlgorithm(), dyn, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 2000, tolerance=1e-6, target=AVG)
+        assert report.converged
+
+    def test_push_sum_converges_without_rate_guarantee(self):
+        # Correctness survives (mixing recurs forever); only Theorem 5.2's
+        # n²D log(1/ε) *rate* is void since D = ∞.
+        dyn = growing_gap_dynamic(5, seed=5)
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=INPUTS)
+        report = run_until_asymptotic(ex, 2000, tolerance=1e-6, target=AVG)
+        assert report.converged
+
+
+class TestPermanentSplitControl:
+    def test_gossip_freezes_on_split(self):
+        # Values introduced after the split never cross: put the maximum
+        # in one half only and check the other half never learns it.
+        dyn = eventually_split_dynamic(6, split_at=1, seed=1)  # split from round 1
+        ex = Execution(GossipAlgorithm(max), dyn, inputs=[1, 2, 3, 9, 9, 9])
+        ex.run(40)
+        outs = ex.outputs()
+        assert outs[:3] == [3, 3, 3]
+        assert outs[3:] == [9, 9, 9]
+
+    def test_average_unreachable_after_split(self):
+        dyn = eventually_split_dynamic(6, split_at=1, seed=2)
+        inputs = [0.0, 0.0, 0.0, 6.0, 6.0, 6.0]
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+        report = run_until_asymptotic(ex, 300, tolerance=1e-6, target=3.0)
+        assert not report.converged
+        # Each half settles on its own average instead.
+        outs = ex.outputs()
+        assert all(abs(o - 0.0) < 1e-6 for o in outs[:3])
+        assert all(abs(o - 6.0) < 1e-6 for o in outs[3:])

@@ -1,0 +1,104 @@
+"""Tests for fibration checking, fibres, coverings, and the ring collapse."""
+
+import pytest
+
+from repro.fibrations.fibration import (
+    fibres,
+    is_covering,
+    is_fibration,
+    ring_collapse,
+)
+from repro.fibrations.minimum_base import minimum_base
+from repro.fibrations.morphism import GraphMorphism, morphism_from_vertex_map
+from repro.graphs.builders import bidirectional_ring, directed_ring, star_graph
+
+
+class TestIsFibration:
+    def test_identity_is_fibration(self):
+        g = directed_ring(4)
+        m = GraphMorphism(g, g, list(g.vertices()), list(range(g.num_edges)))
+        assert is_fibration(m)
+
+    def test_ring_mod_is_fibration(self):
+        big, small = directed_ring(6), directed_ring(2)
+        phi = morphism_from_vertex_map(big, small, [i % 2 for i in range(6)])
+        assert phi is not None and is_fibration(phi)
+
+    def test_star_projection_is_fibration(self):
+        g = star_graph(4, values=["h", "l", "l", "l"])
+        mb = minimum_base(g)
+        assert is_fibration(mb.fibration)
+
+    def test_non_epi_rejected_by_default(self):
+        g = directed_ring(2)
+        h = directed_ring(2)
+        # Map everything onto vertex 0's component only: not surjective on
+        # vertices is impossible for rings; craft with a bigger codomain.
+        from repro.graphs.digraph import DiGraph
+
+        big = DiGraph(1, [(0, 0)])
+        small = DiGraph(2, [(0, 0), (1, 1)])
+        phi = GraphMorphism(big, small, [0], [0])
+        assert not is_fibration(phi)
+        assert is_fibration(phi, require_epi=False)
+
+
+class TestFibres:
+    def test_ring_fibres(self):
+        phi = ring_collapse(6, 3)
+        fb = fibres(phi)
+        assert fb == {0: [0, 3], 1: [1, 4], 2: [2, 5]}
+
+    def test_fibre_sizes_sum_to_n(self):
+        phi = ring_collapse(8, 4)
+        assert sum(len(v) for v in fibres(phi).values()) == 8
+
+
+class TestRingCollapse:
+    @pytest.mark.parametrize("n,p", [(4, 2), (6, 3), (6, 2), (8, 4), (9, 3), (6, 1)])
+    def test_collapse_is_fibration(self, n, p):
+        assert is_fibration(ring_collapse(n, p))
+
+    @pytest.mark.parametrize("n,p", [(4, 2), (6, 3)])
+    def test_directed_collapse(self, n, p):
+        assert is_fibration(ring_collapse(n, p, directed=True))
+
+    def test_nondivisor_rejected(self):
+        with pytest.raises(ValueError):
+            ring_collapse(6, 4)
+
+    def test_port_collapse_is_covering(self):
+        phi = ring_collapse(6, 3, with_ports=True)
+        assert is_fibration(phi)
+        assert is_covering(phi)
+
+    def test_port_collapse_small_base(self):
+        # p = 2 forces a multigraph base; still a covering with ports.
+        phi = ring_collapse(4, 2, with_ports=True)
+        assert is_covering(phi)
+
+    def test_outdegree_collapse_valued(self):
+        phi = ring_collapse(6, 3, with_outdegrees=True)
+        assert is_fibration(phi)
+        assert all(v == 3 for v in phi.source_graph.values)
+
+    def test_base_values_lifted(self):
+        phi = ring_collapse(6, 3, base_values=["a", "b", "c"])
+        assert phi.source_graph.values == ("a", "b", "c", "a", "b", "c")
+        assert phi.target_graph.values == ("a", "b", "c")
+
+    def test_base_values_length_checked(self):
+        with pytest.raises(ValueError):
+            ring_collapse(6, 3, base_values=["a"])
+
+
+class TestCovering:
+    def test_plain_collapse_not_covering_when_outdegrees_drop(self):
+        # R_4 -> R_2 (bidirectional): base vertex has outdegree 2 + self,
+        # total 3 out-edges but fibre vertices have 3 too... the base of the
+        # quotient is a multigraph with matching out-structure, so this IS
+        # a covering; a star projection is not.
+        g = star_graph(4, values=["h", "l", "l", "l"])
+        mb = minimum_base(g)
+        assert is_fibration(mb.fibration)
+        assert not is_covering(mb.fibration)

@@ -1,0 +1,61 @@
+"""Tests for valuation/state lifting and the lifted function fᵠ (§3.1)."""
+
+import pytest
+
+from repro.fibrations.fibration import ring_collapse
+from repro.fibrations.lifting import (
+    lift_global_state,
+    lift_valuation,
+    lifted_function,
+    pushdown_valuation,
+)
+
+
+class TestLiftValuation:
+    def test_fibrewise_copy(self):
+        phi = ring_collapse(6, 3)
+        assert lift_valuation(phi, ["a", "b", "c"]) == ["a", "b", "c", "a", "b", "c"]
+
+    def test_length_checked(self):
+        phi = ring_collapse(6, 3)
+        with pytest.raises(ValueError):
+            lift_valuation(phi, ["a", "b"])
+
+    def test_global_state_alias(self):
+        phi = ring_collapse(4, 2)
+        assert lift_global_state(phi, [1, 2]) == [1, 2, 1, 2]
+
+
+class TestLiftedFunction:
+    def test_sum_scales_with_fibres(self):
+        phi = ring_collapse(6, 3)
+        f_phi = lifted_function(phi, sum)
+        # fᵠ(v) = f(vᵠ): the sum over the 6-ring of the lifted values.
+        assert f_phi([1, 2, 3]) == 2 * (1 + 2 + 3)
+
+    def test_average_invariant(self):
+        phi = ring_collapse(8, 4)
+        avg = lambda v: sum(v) / len(v)
+        f_phi = lifted_function(phi, avg)
+        assert f_phi([1, 2, 3, 4]) == avg([1, 2, 3, 4])
+
+    def test_max_invariant(self):
+        phi = ring_collapse(9, 3)
+        assert lifted_function(phi, max)([5, 1, 7]) == 7
+
+
+class TestPushdown:
+    def test_roundtrip(self):
+        phi = ring_collapse(6, 2)
+        lifted = lift_valuation(phi, ["x", "y"])
+        assert pushdown_valuation(phi, lifted) == ["x", "y"]
+
+    def test_non_constant_fibre_rejected(self):
+        phi = ring_collapse(4, 2)
+        with pytest.raises(ValueError):
+            pushdown_valuation(phi, ["a", "b", "c", "b"])
+
+    def test_length_checked(self):
+        phi = ring_collapse(4, 2)
+        with pytest.raises(ValueError):
+            pushdown_valuation(phi, ["a"])

@@ -1,0 +1,87 @@
+"""Tests for graph morphisms and fibration-compatible vertex maps."""
+
+import pytest
+
+from repro.graphs.builders import bidirectional_ring, directed_ring
+from repro.graphs.digraph import DiGraph
+from repro.fibrations.morphism import GraphMorphism, morphism_from_vertex_map
+
+
+def identity_morphism(g):
+    return GraphMorphism(g, g, list(g.vertices()), list(range(g.num_edges)))
+
+
+class TestValidation:
+    def test_identity_is_valid(self):
+        g = directed_ring(4)
+        assert identity_morphism(g).is_valid()
+
+    def test_source_commutation_checked(self):
+        g = DiGraph(2, [(0, 1)])
+        h = DiGraph(2, [(1, 0)])
+        bad = GraphMorphism(g, h, [0, 1], [0])
+        assert not bad.is_valid()
+        assert any("source" in p for p in bad.validate())
+
+    def test_value_preservation_checked(self):
+        g = DiGraph(1, [(0, 0)], values=["a"])
+        h = DiGraph(1, [(0, 0)], values=["b"])
+        m = GraphMorphism(g, h, [0], [0])
+        assert not m.is_valid()
+
+    def test_color_preservation_checked(self):
+        g = DiGraph(1, [(0, 0, "red")])
+        h = DiGraph(1, [(0, 0, "blue")])
+        assert not GraphMorphism(g, h, [0], [0]).is_valid()
+
+    def test_wrong_lengths(self):
+        g = directed_ring(3)
+        m = GraphMorphism(g, g, [0, 1], [])
+        assert not m.is_valid()
+
+
+class TestClassification:
+    def test_identity_is_iso_and_epi(self):
+        g = directed_ring(4)
+        m = identity_morphism(g)
+        assert m.is_isomorphism()
+        assert m.is_epimorphism()
+
+    def test_non_surjective(self):
+        g = DiGraph(1, [(0, 0)])
+        h = DiGraph(2, [(0, 0), (1, 1)])
+        m = GraphMorphism(g, h, [0], [0])
+        assert m.is_valid()
+        assert not m.is_epimorphism()
+
+
+class TestComposition:
+    def test_compose_vertex_maps(self):
+        g = directed_ring(4)
+        m = identity_morphism(g).compose(identity_morphism(g))
+        assert m.vertex_map == tuple(g.vertices())
+
+    def test_compose_mismatch(self):
+        g, h = directed_ring(3), directed_ring(4)
+        with pytest.raises(ValueError):
+            identity_morphism(g).compose(identity_morphism(h))
+
+
+class TestFromVertexMap:
+    def test_ring_mod_collapse(self):
+        big = directed_ring(6)
+        small = directed_ring(3)
+        phi = morphism_from_vertex_map(big, small, [i % 3 for i in range(6)])
+        assert phi is not None
+        assert phi.is_valid()
+        assert phi.is_epimorphism()
+
+    def test_incompatible_map_rejected(self):
+        # Mapping everything to one vertex of a 2-ring can't match in-edges.
+        big = bidirectional_ring(4)
+        small = bidirectional_ring(2)
+        assert morphism_from_vertex_map(big, small, [0, 0, 0, 0]) is None
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            morphism_from_vertex_map(directed_ring(3), directed_ring(3), [0, 1])

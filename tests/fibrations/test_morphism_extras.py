@@ -1,0 +1,34 @@
+"""Coverage for the remaining morphism/graph utilities."""
+
+from repro.fibrations.fibration import is_covering, port_preserving_ring_collapse
+from repro.graphs.builders import directed_ring
+from repro.graphs.digraph import DiGraph
+
+
+class TestMapEdge:
+    def test_edges_map_to_commuting_images(self):
+        phi = port_preserving_ring_collapse(6, 3)
+        g, b = phi.source_graph, phi.target_graph
+        for e in g.edges:
+            image = phi.map_edge(e)
+            assert image.source == phi(e.source)
+            assert image.target == phi(e.target)
+            assert repr(image.color) == repr(e.color)
+
+    def test_port_preserving_shorthand_is_covering(self):
+        assert is_covering(port_preserving_ring_collapse(8, 4))
+
+
+class TestGraphDerivation:
+    def test_edge_specs_roundtrip(self):
+        g = DiGraph(3, [(0, 1, "a"), (1, 2), (2, 0, "b"), (0, 0)])
+        rebuilt = DiGraph(3, g.edge_specs())
+        assert rebuilt == g
+
+    def test_with_colors(self):
+        g = directed_ring(4)
+        colored = g.with_colors(lambda e: e.source * 10 + e.target)
+        for e in colored.edges:
+            assert e.color == e.source * 10 + e.target
+        # Structure unchanged.
+        assert colored.n == g.n and colored.num_edges == g.num_edges

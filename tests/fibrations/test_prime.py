@@ -1,0 +1,39 @@
+"""Tests for fibration primality."""
+
+from repro.fibrations.minimum_base import minimum_base
+from repro.fibrations.prime import is_fibration_prime
+from repro.graphs.builders import (
+    bidirectional_ring,
+    directed_ring,
+    random_strongly_connected,
+    star_graph,
+)
+from repro.graphs.digraph import DiGraph
+
+
+class TestPrimality:
+    def test_unvalued_ring_not_prime(self):
+        assert not is_fibration_prime(bidirectional_ring(6))
+
+    def test_distinct_values_prime(self):
+        assert is_fibration_prime(directed_ring(4, values=[1, 2, 3, 4]))
+
+    def test_single_vertex_prime(self):
+        assert is_fibration_prime(DiGraph(1, [(0, 0)]))
+
+    def test_star_not_prime(self):
+        assert not is_fibration_prime(star_graph(5))
+
+    def test_minimum_bases_are_prime(self):
+        for seed in range(4):
+            g = random_strongly_connected(8, seed=seed).with_values(
+                [seed % 2, 1, 0, 1, 0, 1, 0, 1]
+            )
+            assert is_fibration_prime(minimum_base(g).base)
+
+    def test_generic_random_graph_is_usually_prime(self):
+        # A random graph with distinct degree structure almost surely has a
+        # discrete equitable partition.
+        g = random_strongly_connected(9, extra_edge_prob=0.35, seed=11)
+        mb = minimum_base(g)
+        assert is_fibration_prime(mb.base)

@@ -1,0 +1,67 @@
+"""Tests for the function-class lattice and empirical classification."""
+
+from repro.functions.classes import (
+    FunctionClass,
+    frequency_based,
+    is_class_empirically,
+    multiset_based,
+    set_based,
+    smallest_class_empirically,
+)
+from repro.functions.library import AVERAGE, MAXIMUM, SUM
+
+
+class TestLattice:
+    def test_strict_inclusions(self):
+        assert FunctionClass.SET_BASED < FunctionClass.FREQUENCY_BASED
+        assert FunctionClass.FREQUENCY_BASED < FunctionClass.MULTISET_BASED
+
+    def test_contains(self):
+        assert FunctionClass.MULTISET_BASED.contains(FunctionClass.SET_BASED)
+        assert not FunctionClass.SET_BASED.contains(FunctionClass.MULTISET_BASED)
+
+    def test_labels(self):
+        assert FunctionClass.FREQUENCY_BASED.label == "frequency-based"
+
+
+class TestWrappers:
+    def test_set_based_wrapper(self):
+        f = set_based("count-distinct", len)
+        assert f([1, 1, 2]) == 2
+        assert f.declared_class is FunctionClass.SET_BASED
+
+    def test_frequency_based_wrapper(self):
+        f = frequency_based("freq-of-1", lambda nu: nu[1])
+        assert f([1, 2]) == f([1, 1, 2, 2])
+
+    def test_multiset_based_wrapper(self):
+        f = multiset_based("total", lambda c: sum(v * m for v, m in c.items()))
+        assert f([1, 2, 2]) == 5
+
+    def test_empty_input_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MAXIMUM([])
+
+
+class TestEmpiricalClassification:
+    def test_max_is_set_based(self):
+        assert is_class_empirically(MAXIMUM, FunctionClass.SET_BASED, [1, 2, 3])
+
+    def test_average_is_frequency_not_set(self):
+        assert is_class_empirically(AVERAGE, FunctionClass.FREQUENCY_BASED, [1, 2, 3])
+        assert not is_class_empirically(AVERAGE, FunctionClass.SET_BASED, [1, 2, 3])
+
+    def test_sum_is_multiset_not_frequency(self):
+        assert is_class_empirically(SUM, FunctionClass.MULTISET_BASED, [1, 2, 3])
+        assert not is_class_empirically(SUM, FunctionClass.FREQUENCY_BASED, [1, 2, 3])
+
+    def test_smallest_class(self):
+        assert smallest_class_empirically(MAXIMUM, [1, 2, 3]) is FunctionClass.SET_BASED
+        assert smallest_class_empirically(AVERAGE, [1, 2, 3]) is FunctionClass.FREQUENCY_BASED
+        assert smallest_class_empirically(SUM, [1, 2, 3]) is FunctionClass.MULTISET_BASED
+
+    def test_order_dependent_function_is_nothing(self):
+        first = lambda v: v[0]
+        assert smallest_class_empirically(first, [1, 2, 3]) is None

@@ -1,0 +1,41 @@
+"""Tests for δ-continuity in frequency (§5.4)."""
+
+import math
+
+from repro.core.metrics import discrete_metric, euclidean_metric
+from repro.functions.continuity import is_continuous_in_frequency_empirically
+from repro.functions.frequency import FrequencyFunction
+from repro.functions.library import AVERAGE, threshold_predicate
+
+
+TARGET = FrequencyFunction({1: "1/2", 2: "1/2"})
+
+
+class TestContinuity:
+    def test_average_is_continuous(self):
+        assert is_continuous_in_frequency_empirically(
+            AVERAGE, TARGET, euclidean_metric, tolerance=0.05
+        )
+
+    def test_rational_threshold_discontinuous_at_threshold(self):
+        # Φ with r = 1/2 probed exactly at frequency 1/2: realizations
+        # land on both sides, so the (discrete-metric) outputs oscillate.
+        phi = threshold_predicate(1, 0.5)
+        assert not is_continuous_in_frequency_empirically(
+            phi, TARGET, discrete_metric, tolerance=0.0, seed=3
+        )
+
+    def test_irrational_threshold_continuous(self):
+        # r = 1/√2 can never be hit exactly by rational frequencies, so
+        # outputs settle once realizations are close enough.
+        phi = threshold_predicate(1, 1 / math.sqrt(2))
+        target = FrequencyFunction({1: "1/4", 2: "3/4"})
+        assert is_continuous_in_frequency_empirically(
+            phi, target, discrete_metric, tolerance=0.0
+        )
+
+    def test_constant_function_trivially_continuous(self):
+        const = lambda v: 42
+        assert is_continuous_in_frequency_empirically(
+            const, TARGET, discrete_metric, tolerance=0.0
+        )

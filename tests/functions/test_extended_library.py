@@ -1,0 +1,86 @@
+"""Tests for the extended function library (mode, median, variance, ...)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.functions.classes import FunctionClass, smallest_class_empirically
+from repro.functions.library import (
+    COUNT_DISTINCT,
+    EXTENDED_LIBRARY,
+    MEDIAN,
+    MODE,
+    VARIANCE,
+)
+
+
+class TestValues:
+    def test_mode(self):
+        assert MODE([1, 2, 2, 3]) == 2
+        assert MODE([5]) == 5
+
+    def test_mode_tie_is_deterministic(self):
+        assert MODE([1, 2]) == MODE([2, 1])
+
+    def test_median(self):
+        assert MEDIAN([5, 1, 3]) == 3
+        assert MEDIAN([4, 1, 3, 2]) == 2  # lower median
+
+    def test_variance(self):
+        assert VARIANCE([2, 2, 2]) == 0
+        assert VARIANCE([0, 2]) == Fraction(1)
+        assert VARIANCE([0, 0, 6]) == Fraction(8)
+
+    def test_count_distinct(self):
+        assert COUNT_DISTINCT([1, 1, 2, 3, 3]) == 3
+
+
+class TestDeclaredClasses:
+    @pytest.mark.parametrize("fn,klass", EXTENDED_LIBRARY)
+    def test_declared_matches_empirical(self, fn, klass):
+        domain = [1, 2, 3]
+        got = smallest_class_empirically(fn, domain, samples=150, seed=2)
+        assert got is klass, f"{fn.name}: declared {klass}, measured {got}"
+
+    def test_mode_is_not_set_based(self):
+        assert MODE([1, 1, 2]) == 1
+        assert MODE([1, 2, 2]) == 2  # same support, different value
+
+    def test_median_is_frequency_based(self):
+        assert MEDIAN([1, 2, 2]) == MEDIAN([1, 1, 2, 2, 2, 2])
+
+    def test_variance_scaling_invariant(self):
+        assert VARIANCE([0, 2]) == VARIANCE([0, 0, 2, 2])
+
+
+class TestEndToEnd:
+    def test_static_pipeline_computes_extended_functions(self):
+        from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+        from repro.core.convergence import run_until_stable
+        from repro.core.execution import Execution
+        from repro.core.models import CommunicationModel as CM
+        from repro.graphs.builders import random_symmetric_connected
+
+        inputs = [3, 1, 1, 4, 1, 4]
+        g = random_symmetric_connected(6, seed=8)
+        for fn in (MODE, MEDIAN, VARIANCE):
+            alg = StaticFunctionAlgorithm(fn, CM.SYMMETRIC)
+            report = run_until_stable(
+                Execution(alg, g, inputs=inputs), 60, patience=4, target=fn(inputs)
+            )
+            assert report.converged, fn.name
+
+    def test_history_tree_computes_extended_functions(self):
+        from repro.algorithms.history_tree import HistoryTreeAlgorithm
+        from repro.core.convergence import run_until_stable
+        from repro.core.execution import Execution
+        from repro.dynamics.generators import random_dynamic_symmetric
+
+        inputs = [3, 1, 1, 4, 1]
+        dyn = random_dynamic_symmetric(5, seed=9)
+        for fn in (MODE, MEDIAN):
+            alg = HistoryTreeAlgorithm(f=fn)
+            report = run_until_stable(
+                Execution(alg, dyn, inputs=inputs), 24, patience=4, target=fn(inputs)
+            )
+            assert report.converged, fn.name

@@ -1,0 +1,90 @@
+"""Tests for frequency functions and canonical vectors (§2.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.functions.frequency import (
+    FrequencyFunction,
+    canonical_vector,
+    equivalent_in_frequency,
+    frequencies_of,
+)
+
+
+class TestConstruction:
+    def test_of_vector(self):
+        nu = frequencies_of([1, 1, 2])
+        assert nu[1] == Fraction(2, 3)
+        assert nu[2] == Fraction(1, 3)
+        assert nu[7] == 0
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ValueError):
+            frequencies_of([])
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            FrequencyFunction({1: Fraction(1, 2)})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyFunction({1: Fraction(3, 2), 2: Fraction(-1, 2)})
+
+    def test_zero_entries_dropped(self):
+        nu = FrequencyFunction({1: 1, 2: 0})
+        assert nu.support() == [1]
+
+    def test_accepts_fraction_like(self):
+        nu = FrequencyFunction({"a": "1/4", "b": Fraction(3, 4)})
+        assert nu["a"] == Fraction(1, 4)
+
+
+class TestEquality:
+    def test_scaling_invariance(self):
+        assert frequencies_of([1, 2]) == frequencies_of([1, 2, 1, 2, 1, 2])
+
+    def test_permutation_invariance(self):
+        assert frequencies_of([1, 2, 2]) == frequencies_of([2, 1, 2])
+
+    def test_multiplicity_sensitivity(self):
+        assert frequencies_of([1, 2]) != frequencies_of([1, 2, 2])
+
+    def test_hashable(self):
+        s = {frequencies_of([1, 2]), frequencies_of([2, 1, 2, 1])}
+        assert len(s) == 1
+
+    def test_equivalent_in_frequency(self):
+        assert equivalent_in_frequency([1, 2], [2, 1, 1, 2])
+        assert not equivalent_in_frequency([1], [1, 2])
+
+
+class TestCanonicalVector:
+    def test_minimal_size_is_lcm(self):
+        nu = FrequencyFunction({1: Fraction(1, 2), 2: Fraction(1, 3), 3: Fraction(1, 6)})
+        assert nu.minimal_size() == 6
+
+    def test_canonical_vector_roundtrip(self):
+        for vec in ([1], [1, 2, 2], [5, 5, 5, 7], ["a", "b", "a", "b"]):
+            canon = canonical_vector(vec)
+            assert frequencies_of(canon) == frequencies_of(vec)
+            assert len(canon) <= len(vec)
+
+    def test_canonical_vector_is_smallest(self):
+        assert canonical_vector([1, 1, 2, 2]) == [1, 2]
+
+    def test_scaled_vector(self):
+        nu = frequencies_of([1, 2])
+        assert sorted(nu.scaled_vector(6)) == [1, 1, 1, 2, 2, 2]
+        with pytest.raises(ValueError):
+            nu.scaled_vector(3)
+
+    def test_multiplicities_for(self):
+        nu = frequencies_of([1, 1, 2])
+        assert nu.multiplicities_for(6) == {1: 4, 2: 2}
+        with pytest.raises(ValueError):
+            nu.multiplicities_for(4)
+
+    def test_items_sorted(self):
+        nu = frequencies_of(["b", "a", "b"])
+        assert [v for v, _ in nu.items()] == ["a", "b"]

@@ -1,0 +1,77 @@
+"""Tests for the concrete function library."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.functions.classes import FunctionClass
+from repro.functions.library import (
+    AVERAGE,
+    MAXIMUM,
+    MINIMUM,
+    SIZE,
+    SUM,
+    SUPPORT_SET,
+    frequency_of,
+    multiplicity_of,
+    quot_sum,
+    threshold_predicate,
+)
+
+
+class TestBasics:
+    def test_min_max(self):
+        assert MINIMUM([3, 1, 2]) == 1
+        assert MAXIMUM([3, 1, 2]) == 3
+
+    def test_support_set(self):
+        assert SUPPORT_SET([1, 1, 2]) == frozenset({1, 2})
+
+    def test_average_exact_rational(self):
+        assert AVERAGE([1, 2]) == Fraction(3, 2)
+        assert AVERAGE([1, 2, 1, 2]) == Fraction(3, 2)
+
+    def test_sum_and_size(self):
+        assert SUM([1, 2, 2]) == 5
+        assert SIZE([1, 2, 2]) == 3
+
+    def test_declared_classes(self):
+        assert MAXIMUM.declared_class is FunctionClass.SET_BASED
+        assert AVERAGE.declared_class is FunctionClass.FREQUENCY_BASED
+        assert SUM.declared_class is FunctionClass.MULTISET_BASED
+
+
+class TestParameterizedFunctions:
+    def test_frequency_of(self):
+        f = frequency_of(1)
+        assert f([1, 2, 1, 1]) == Fraction(3, 4)
+        assert f([2]) == 0
+
+    def test_multiplicity_of(self):
+        f = multiplicity_of("x")
+        assert f(["x", "y", "x"]) == 2
+
+    def test_threshold_predicate(self):
+        phi = threshold_predicate(1, 0.5)
+        assert phi([1, 1, 2]) == 1
+        assert phi([1, 2, 2]) == 0
+
+    def test_threshold_boundary_inclusive(self):
+        phi = threshold_predicate(1, 0.5)
+        assert phi([1, 2]) == 1  # ν = 1/2 >= 1/2
+
+
+class TestQuotSum:
+    def test_basic(self):
+        assert quot_sum([(1.0, 1.0), (3.0, 1.0)]) == 2.0
+
+    def test_weighted(self):
+        assert quot_sum([(2.0, 1.0), (2.0, 3.0)]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quot_sum([])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            quot_sum([(1.0, 0.0)])

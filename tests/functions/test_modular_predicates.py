@@ -1,0 +1,78 @@
+"""Tests for modular-counting predicates (the Presburger connection)."""
+
+import pytest
+
+from repro.functions.classes import FunctionClass, smallest_class_empirically
+from repro.functions.library import modular_count_predicate
+
+
+class TestValues:
+    def test_basic(self):
+        phi = modular_count_predicate(1, 3)
+        assert phi([1, 1, 1]) == 1  # 3 ≡ 0 (mod 3)
+        assert phi([1, 1]) == 0
+        assert phi([2, 2, 2]) == 1  # 0 ≡ 0 (mod 3)
+
+    def test_residue(self):
+        phi = modular_count_predicate("a", 2, residue=1)
+        assert phi(["a"]) == 1
+        assert phi(["a", "a"]) == 0
+
+    def test_modulus_validated(self):
+        with pytest.raises(ValueError):
+            modular_count_predicate(1, 1)
+
+
+class TestClassSeparation:
+    def test_multiset_based_but_not_frequency_based(self):
+        phi = modular_count_predicate(1, 3)
+        got = smallest_class_empirically(phi, [1, 2], samples=300, seed=4)
+        assert got is FunctionClass.MULTISET_BASED
+
+    def test_doubling_flips_it(self):
+        # The witness: same frequencies, different predicate value.
+        phi = modular_count_predicate(1, 2, residue=1)
+        v = [1, 2]
+        w = [1, 1, 2, 2]
+        assert phi(v) == 1 and phi(w) == 0
+
+
+class TestComputability:
+    def test_computable_with_known_n_static(self):
+        from repro.algorithms.multiset_static import known_size_algorithm
+        from repro.core.convergence import run_until_stable
+        from repro.core.execution import Execution
+        from repro.core.models import CommunicationModel as CM
+        from repro.graphs.builders import random_symmetric_connected
+
+        phi = modular_count_predicate(1, 3)
+        inputs = [1, 1, 1, 2, 2, 2]
+        g = random_symmetric_connected(6, seed=11)
+        alg = known_size_algorithm(phi, CM.SYMMETRIC, n=6)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 60, patience=4, target=1
+        )
+        assert report.converged
+
+    def test_computable_with_leader_dynamic(self):
+        from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+        from repro.core.convergence import run_until_stable
+        from repro.core.execution import Execution
+        from repro.dynamics.generators import random_dynamic_strongly_connected
+
+        phi = modular_count_predicate(1, 3)
+        inputs = [(v, i == 0) for i, v in enumerate([1, 1, 2, 1, 2])]
+        dyn = random_dynamic_strongly_connected(5, seed=12)
+        alg = PushSumFrequencyAlgorithm(mode="multiset", leader_count=1, f=phi)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=inputs), 800, patience=8, target=1
+        )
+        assert report.converged
+
+    def test_impossible_without_help(self):
+        from repro.analysis.impossibility import frequency_counterexample
+
+        phi = modular_count_predicate(1, 2, residue=1)
+        cert = frequency_counterexample(phi, [1, 2])
+        assert cert is not None
+        assert cert["f(v)"] != cert["f(w)"]

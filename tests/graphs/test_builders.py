@@ -1,0 +1,125 @@
+"""Tests for the graph builders: shape, connectivity, self-loops."""
+
+import pytest
+
+from repro.graphs.builders import (
+    bidirectional_ring,
+    complete_graph,
+    de_bruijn_graph,
+    directed_ring,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_strongly_connected,
+    random_symmetric_connected,
+    star_graph,
+    torus,
+)
+from repro.graphs.properties import (
+    diameter,
+    is_complete,
+    is_strongly_connected,
+    is_symmetric,
+)
+
+
+class TestRings:
+    def test_directed_ring_shape(self):
+        g = directed_ring(5)
+        assert g.n == 5
+        for i in range(5):
+            assert g.has_edge(i, (i + 1) % 5)
+            assert g.has_self_loop(i)
+        assert diameter(g) == 4
+
+    def test_bidirectional_ring_symmetric(self):
+        g = bidirectional_ring(6)
+        assert is_symmetric(g)
+        assert diameter(g) == 3
+
+    def test_ring_of_one(self):
+        assert directed_ring(1).n == 1
+        assert bidirectional_ring(1).all_have_self_loops()
+
+    def test_ring_of_two_no_duplicate_arcs(self):
+        g = bidirectional_ring(2)
+        assert g.edge_multiplicity(0, 1) == 1
+        assert g.edge_multiplicity(1, 0) == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            directed_ring(0)
+        with pytest.raises(ValueError):
+            bidirectional_ring(-1)
+
+    def test_no_self_loops_option(self):
+        g = directed_ring(4, self_loops=False)
+        assert not any(g.has_self_loop(v) for v in g.vertices())
+
+
+class TestStandardFamilies:
+    def test_complete(self):
+        g = complete_graph(4)
+        assert is_complete(g)
+        assert diameter(g) == 1
+
+    def test_path(self):
+        g = path_graph(5)
+        assert is_symmetric(g)
+        assert diameter(g) == 4
+
+    def test_star(self):
+        g = star_graph(5)
+        assert is_symmetric(g)
+        assert diameter(g) == 2
+        assert g.outdegree(0) == 5  # 4 leaves + self-loop
+
+    def test_torus(self):
+        g = torus(3, 4)
+        assert g.n == 12
+        assert is_symmetric(g)
+        assert is_strongly_connected(g)
+
+    def test_hypercube(self):
+        g = hypercube(3)
+        assert g.n == 8
+        assert is_symmetric(g)
+        assert diameter(g) == 3
+
+    def test_lollipop(self):
+        g = lollipop(4, 3)
+        assert g.n == 7
+        assert is_symmetric(g)
+        assert is_strongly_connected(g)
+        assert diameter(g) == 4
+
+    def test_de_bruijn(self):
+        g = de_bruijn_graph(2, 3)
+        assert g.n == 8
+        assert is_strongly_connected(g)
+
+    def test_values_attached(self):
+        g = bidirectional_ring(3, values=["a", "b", "c"])
+        assert g.values == ("a", "b", "c")
+
+
+class TestRandomFamilies:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_strongly_connected(self, seed):
+        g = random_strongly_connected(8, seed=seed)
+        assert is_strongly_connected(g)
+        assert g.all_have_self_loops()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_symmetric(self, seed):
+        g = random_symmetric_connected(8, seed=seed)
+        assert is_symmetric(g)
+        assert is_strongly_connected(g)
+
+    def test_determinism(self):
+        assert random_strongly_connected(6, seed=3) == random_strongly_connected(6, seed=3)
+        assert random_symmetric_connected(6, seed=3) == random_symmetric_connected(6, seed=3)
+
+    def test_different_seeds_differ(self):
+        graphs = {random_strongly_connected(8, seed=s) for s in range(6)}
+        assert len(graphs) > 1

@@ -1,0 +1,135 @@
+"""Unit tests for the directed multigraph core."""
+
+import pytest
+
+from repro.graphs.digraph import DiGraph, Edge
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(0)
+
+    def test_single_vertex(self):
+        g = DiGraph(1)
+        assert g.n == 1
+        assert g.num_edges == 0
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [(0, 2)])
+
+    def test_bad_edge_spec(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [(0,)])
+
+    def test_values_length_checked(self):
+        with pytest.raises(ValueError):
+            DiGraph(2, [], values=[1])
+
+    def test_parallel_edges_kept(self):
+        g = DiGraph(2, [(0, 1), (0, 1)])
+        assert g.num_edges == 2
+        assert g.edge_multiplicity(0, 1) == 2
+
+    def test_ensure_self_loops(self):
+        g = DiGraph(3, [(0, 1), (1, 1)], ensure_self_loops=True)
+        assert g.all_have_self_loops()
+        # The existing self-loop at 1 is not duplicated.
+        assert g.edge_multiplicity(1, 1) == 1
+
+    def test_colored_edges(self):
+        g = DiGraph(2, [(0, 1, "red"), (1, 0, "blue")])
+        colors = {e.color for e in g.edges}
+        assert colors == {"red", "blue"}
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.outdegree(0) == 2
+        assert g.indegree(2) == 2
+        assert g.outdegree(2) == 0
+
+    def test_neighbors_with_multiplicity(self):
+        g = DiGraph(2, [(0, 1), (0, 1)])
+        assert g.out_neighbors(0) == [1, 1]
+        assert g.in_neighbors(1) == [0, 0]
+
+    def test_self_loop_counts_in_both_degrees(self):
+        g = DiGraph(1, [(0, 0)])
+        assert g.outdegree(0) == 1
+        assert g.indegree(0) == 1
+
+    def test_degree_signature(self):
+        g = DiGraph(2, [(0, 1)])
+        assert g.degree_signature() == [(0, 1), (1, 0)]
+
+
+class TestPorts:
+    def test_ports_follow_out_edge_order(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (1, 0)])
+        e01, e02, _ = g.edges
+        assert g.port_of(e01) == 0
+        assert g.port_of(e02) == 1
+
+    def test_with_port_colors(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (1, 0)]).with_port_colors()
+        by_target = {e.target: e.color for e in g.out_edges(0)}
+        assert by_target == {1: 0, 2: 1}
+
+
+class TestDerivedGraphs:
+    def test_with_values(self):
+        g = DiGraph(2, [(0, 1)]).with_values(["a", "b"])
+        assert g.value(0) == "a"
+        assert g.without_values().values is None
+
+    def test_with_outdegree_values(self):
+        g = DiGraph(2, [(0, 1), (1, 0), (0, 0)]).with_outdegree_values()
+        assert g.values == (2, 1)
+
+    def test_reverse(self):
+        g = DiGraph(2, [(0, 1, "c")])
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        assert r.edges[0].color == "c"
+
+    def test_reverse_involution(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0), (0, 0)])
+        assert g.reverse().reverse() == g
+
+    def test_symmetric_closure(self):
+        g = DiGraph(3, [(0, 1), (1, 2)]).symmetric_closure()
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 1)
+
+    def test_simple_support_collapses_parallels(self):
+        g = DiGraph(2, [(0, 1), (0, 1), (1, 0)]).simple_support()
+        assert g.num_edges == 2
+
+    def test_with_pair_values(self):
+        g = DiGraph(2, [(0, 1)], values=["a", "b"]).with_pair_values([1, 2])
+        assert g.values == (("a", 1), ("b", 2))
+
+
+class TestMatrixAndEquality:
+    def test_adjacency_matrix_counts_multiplicity(self):
+        g = DiGraph(2, [(0, 1), (0, 1), (1, 1)])
+        assert g.adjacency_matrix() == [[0, 2], [0, 1]]
+
+    def test_structural_equality_ignores_edge_order(self):
+        g = DiGraph(2, [(0, 1), (1, 0)])
+        h = DiGraph(2, [(1, 0), (0, 1)])
+        assert g == h
+        assert hash(g) == hash(h)
+
+    def test_inequality_on_values(self):
+        g = DiGraph(2, [(0, 1)], values=[1, 2])
+        h = DiGraph(2, [(0, 1)], values=[2, 1])
+        assert g != h
+
+    def test_edge_equality(self):
+        assert Edge(0, 1, 2, None) == Edge(0, 1, 2, None)
+        assert Edge(0, 1, 2, "a") != Edge(0, 1, 2, "b")

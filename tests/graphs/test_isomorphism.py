@@ -1,0 +1,78 @@
+"""Tests for valued/colored multigraph isomorphism."""
+
+from repro.graphs.builders import bidirectional_ring, directed_ring, star_graph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.isomorphism import are_isomorphic, find_isomorphism
+
+
+class TestBasic:
+    def test_identity(self):
+        g = directed_ring(5)
+        assert are_isomorphic(g, g)
+
+    def test_rotation(self):
+        g = directed_ring(5, values=[1, 2, 3, 4, 5], self_loops=False)
+        rotated_values = [2, 3, 4, 5, 1]
+        h = directed_ring(5, values=rotated_values, self_loops=False)
+        # Same cyclic word up to rotation -> isomorphic.
+        assert are_isomorphic(g, h)
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(directed_ring(4), directed_ring(5))
+
+    def test_different_edge_counts(self):
+        assert not are_isomorphic(DiGraph(3, [(0, 1)]), DiGraph(3, [(0, 1), (1, 2)]))
+
+    def test_orientation_matters(self):
+        cw = directed_ring(4, self_loops=False)
+        ccw = cw.reverse()
+        # A directed 4-cycle is isomorphic to its reverse (relabel i -> -i).
+        assert are_isomorphic(cw, ccw)
+
+    def test_ring_vs_star(self):
+        assert not are_isomorphic(bidirectional_ring(5), star_graph(5))
+
+
+class TestValuesAndColors:
+    def test_values_respected(self):
+        g = directed_ring(4, values=[1, 1, 2, 2], self_loops=False)
+        h = directed_ring(4, values=[1, 2, 1, 2], self_loops=False)
+        assert not are_isomorphic(g, h)
+
+    def test_colors_respected(self):
+        g = DiGraph(2, [(0, 1, "a"), (1, 0, "b")])
+        h = DiGraph(2, [(0, 1, "b"), (1, 0, "a")])
+        assert are_isomorphic(g, h)  # swap vertices
+        h2 = DiGraph(2, [(0, 1, "a"), (1, 0, "a")])
+        assert not are_isomorphic(g, h2)
+
+    def test_parallel_edge_multiplicity(self):
+        g = DiGraph(2, [(0, 1), (0, 1), (1, 0)])
+        h = DiGraph(2, [(0, 1), (1, 0), (1, 0)])
+        assert are_isomorphic(g, h)  # swap
+        h2 = DiGraph(2, [(0, 1), (1, 0)])
+        assert not are_isomorphic(g, h2)
+
+
+class TestMapping:
+    def test_mapping_is_valid(self):
+        g = directed_ring(6, values=list("abcabc"), self_loops=False)
+        h = directed_ring(6, values=list("bcabca"), self_loops=False)
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None
+        # Check values and edges are preserved under the mapping.
+        for v in g.vertices():
+            assert g.value(v) == h.value(mapping[v])
+        for e in g.edges:
+            assert h.has_edge(mapping[e.source], mapping[e.target])
+
+    def test_none_when_impossible(self):
+        assert find_isomorphism(directed_ring(4), bidirectional_ring(4)) is None
+
+
+class TestRegularPairs:
+    def test_cospectral_like_pair(self):
+        # Two 6-vertex 2-regular digraphs: a 6-cycle vs two 3-cycles.
+        six = directed_ring(6, self_loops=False)
+        two_threes = DiGraph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        assert not are_isomorphic(six, two_threes)

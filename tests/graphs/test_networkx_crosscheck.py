@@ -1,0 +1,81 @@
+"""Cross-validation of the graph substrate against networkx.
+
+The library itself uses no graph package; these tests independently
+check our connectivity, diameter, and isomorphism implementations
+against networkx on random instances.  Skipped when networkx is absent.
+"""
+
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.graphs.builders import (
+    de_bruijn_graph,
+    random_strongly_connected,
+    random_symmetric_connected,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.properties import diameter, is_strongly_connected
+
+
+def to_nx(g: DiGraph) -> "nx.MultiDiGraph":
+    h = nx.MultiDiGraph()
+    h.add_nodes_from(g.vertices())
+    h.add_edges_from((e.source, e.target) for e in g.edges)
+    return h
+
+
+class TestConnectivityAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_strong_connectivity(self, seed):
+        g = random_strongly_connected(9, seed=seed)
+        assert is_strongly_connected(g) == nx.is_strongly_connected(to_nx(g))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_subgraphs(self, seed):
+        # Drop some edges: connectivity verdicts must still agree.
+        import random
+
+        g = random_strongly_connected(8, seed=seed)
+        rng = random.Random(seed)
+        specs = [
+            (e.source, e.target)
+            for e in g.edges
+            if e.source == e.target or rng.random() > 0.4
+        ]
+        h = DiGraph(8, specs)
+        assert is_strongly_connected(h) == nx.is_strongly_connected(to_nx(h))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diameter(self, seed):
+        g = random_symmetric_connected(8, seed=seed)
+        assert diameter(g) == nx.diameter(to_nx(g).to_undirected())
+
+
+class TestIsomorphismAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_permuted_copies(self, seed):
+        import random
+
+        g = random_strongly_connected(7, seed=seed)
+        perm = list(range(7))
+        random.Random(seed).shuffle(perm)
+        specs = [(perm[e.source], perm[e.target]) for e in g.edges]
+        h = DiGraph(7, specs)
+        ours = are_isomorphic(g.without_values(), h)
+        theirs = nx.is_isomorphic(to_nx(g), to_nx(h))
+        assert ours == theirs is True
+
+    @pytest.mark.parametrize("seeds", [(0, 1), (2, 3), (4, 5)])
+    def test_non_isomorphic_pairs(self, seeds):
+        a = random_strongly_connected(7, seed=seeds[0])
+        b = random_strongly_connected(7, seed=seeds[1])
+        ours = are_isomorphic(a.without_values(), b.without_values())
+        theirs = nx.is_isomorphic(to_nx(a), to_nx(b))
+        assert ours == theirs
+
+    def test_de_bruijn_agreement(self):
+        g = de_bruijn_graph(2, 3)
+        assert are_isomorphic(g, g)
+        assert nx.is_isomorphic(to_nx(g), to_nx(g))

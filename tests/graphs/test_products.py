@@ -1,0 +1,59 @@
+"""Tests for graph composition — footnote 3 of §2.1."""
+
+import pytest
+
+from repro.graphs.builders import complete_graph, directed_ring
+from repro.graphs.digraph import DiGraph
+from repro.graphs.products import graph_product, iterated_product, reachability_closure
+from repro.graphs.properties import is_complete
+
+
+class TestProduct:
+    def test_two_hops(self):
+        # 0 -> 1 in G1, 1 -> 2 in G2 gives 0 -> 2 in the product.
+        g1 = DiGraph(3, [(0, 1)])
+        g2 = DiGraph(3, [(1, 2)])
+        p = graph_product(g1, g2)
+        assert p.has_edge(0, 2)
+        assert p.num_edges == 1
+
+    def test_self_loops_keep_edges_alive(self):
+        # With self-loops everywhere, an edge of G1 survives composition.
+        g1 = directed_ring(4)
+        quiet = DiGraph(4, [], ensure_self_loops=True)
+        p = graph_product(g1, quiet)
+        for e in g1.edges:
+            assert p.has_edge(e.source, e.target)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            graph_product(DiGraph(2), DiGraph(3))
+
+    def test_ring_composition_reaches_distance_two(self):
+        g = directed_ring(5)
+        p = graph_product(g, g)
+        assert p.has_edge(0, 2)
+        assert p.has_edge(0, 1)  # via self-loop
+        assert not p.has_edge(0, 3)
+
+    def test_complete_absorbs(self):
+        g = complete_graph(4)
+        assert is_complete(graph_product(g, directed_ring(4)))
+
+
+class TestIteratedProduct:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_product([])
+
+    def test_directed_ring_completes_in_n_minus_one(self):
+        g = directed_ring(5)
+        assert not is_complete(iterated_product([g] * 3))
+        assert is_complete(iterated_product([g] * 4))
+
+    def test_reachability_closure_monotone(self):
+        g = directed_ring(6)
+        prefix = reachability_closure([g] * 5)
+        counts = [p.num_edges for p in prefix]
+        assert counts == sorted(counts)
+        assert is_complete(prefix[-1])

@@ -1,0 +1,102 @@
+"""Tests for structural predicates, distances, and SCCs."""
+
+import pytest
+
+from repro.graphs.builders import bidirectional_ring, complete_graph, directed_ring
+from repro.graphs.digraph import DiGraph
+from repro.graphs.properties import (
+    diameter,
+    distances,
+    indegree_sequence,
+    is_complete,
+    is_regular,
+    is_strongly_connected,
+    is_symmetric,
+    outdegree_sequence,
+    strongly_connected_components,
+)
+
+
+class TestConnectivity:
+    def test_single_vertex_strongly_connected(self):
+        assert is_strongly_connected(DiGraph(1))
+
+    def test_directed_path_not_strong(self):
+        assert not is_strongly_connected(DiGraph(3, [(0, 1), (1, 2)]))
+
+    def test_cycle_strong(self):
+        assert is_strongly_connected(directed_ring(5))
+
+    def test_disconnected(self):
+        assert not is_strongly_connected(DiGraph(4, [(0, 1), (1, 0), (2, 3), (3, 2)]))
+
+    def test_one_way_bridge(self):
+        # Two cycles joined by a single directed edge: reachable one way only.
+        g = DiGraph(4, [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)])
+        assert not is_strongly_connected(g)
+
+
+class TestDiameter:
+    def test_complete_diameter_one(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_directed_ring_diameter(self):
+        assert diameter(directed_ring(7)) == 6
+
+    def test_bidirectional_ring_diameter(self):
+        assert diameter(bidirectional_ring(7)) == 3
+
+    def test_diameter_requires_strong_connectivity(self):
+        with pytest.raises(ValueError):
+            diameter(DiGraph(2, [(0, 1)]))
+
+    def test_distances(self):
+        g = directed_ring(4)
+        assert distances(g, 0) == [0, 1, 2, 3]
+
+
+class TestShape:
+    def test_symmetry_on_support(self):
+        g = DiGraph(2, [(0, 1), (0, 1), (1, 0)])  # multiplicities differ
+        assert is_symmetric(g)
+
+    def test_not_symmetric(self):
+        assert not is_symmetric(DiGraph(2, [(0, 1)]))
+
+    def test_is_complete_needs_self_loops(self):
+        g = DiGraph(2, [(0, 1), (1, 0)])
+        assert not is_complete(g)
+        assert is_complete(complete_graph(2))
+
+    def test_degree_sequences(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (2, 1)])
+        assert outdegree_sequence(g) == (2, 0, 1)
+        assert indegree_sequence(g) == (0, 2, 1)
+
+    def test_regular(self):
+        assert is_regular(directed_ring(5))
+        assert not is_regular(DiGraph(2, [(0, 1)]))
+
+
+class TestSCC:
+    def test_single_component(self):
+        comps = strongly_connected_components(directed_ring(4))
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2, 3]
+
+    def test_chain_of_singletons(self):
+        comps = strongly_connected_components(DiGraph(3, [(0, 1), (1, 2)]))
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_two_cycles(self):
+        g = DiGraph(5, [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (0, 2)])
+        comps = sorted(strongly_connected_components(g), key=len)
+        assert [len(c) for c in comps] == [2, 3]
+        assert sorted(comps[1]) == [2, 3, 4]
+
+    def test_reverse_topological_order(self):
+        # Tarjan emits components in reverse topological order: the sink
+        # component (no outgoing edges to others) comes first.
+        g = DiGraph(4, [(0, 1), (1, 0), (0, 2), (2, 3), (3, 2)])
+        comps = strongly_connected_components(g)
+        assert sorted(comps[0]) == [2, 3]

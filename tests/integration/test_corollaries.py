@@ -1,0 +1,127 @@
+"""Integration: Corollaries 4.2–4.4 and 5.3–5.5 end to end."""
+
+import pytest
+
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.multiset_static import known_size_algorithm, leader_algorithm
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.core.network_class import Knowledge
+from repro.dynamics.generators import random_dynamic_strongly_connected
+from repro.functions.library import AVERAGE, SIZE, SUM, multiplicity_of
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+
+INPUTS = [3, 1, 1, 4, 1, 4]
+
+
+class TestCorollary42:
+    """A bound on n changes nothing in the static enriched models."""
+
+    def test_bound_same_as_none(self):
+        g = random_strongly_connected(6, seed=0)
+        for knowledge in (Knowledge.NONE, Knowledge.BOUND_N):
+            alg = StaticFunctionAlgorithm(
+                AVERAGE, CM.OUTDEGREE_AWARE, knowledge=knowledge, n=10
+            )
+            report = run_until_stable(
+                Execution(alg, g, inputs=INPUTS), 60, patience=4, target=AVERAGE(INPUTS)
+            )
+            assert report.converged
+
+
+class TestCorollary43:
+    """Known n upgrades frequency to multiset (static)."""
+
+    @pytest.mark.parametrize("model", [CM.OUTDEGREE_AWARE, CM.SYMMETRIC, CM.OUTPUT_PORT_AWARE])
+    def test_multiset_functions(self, model):
+        build = random_symmetric_connected if model is CM.SYMMETRIC else random_strongly_connected
+        g = build(6, seed=1)
+        for f in (SUM, SIZE, multiplicity_of(1)):
+            alg = known_size_algorithm(f, model, n=6)
+            report = run_until_stable(
+                Execution(alg, g, inputs=INPUTS), 60, patience=4, target=f(INPUTS)
+            )
+            assert report.converged
+
+
+class TestCorollary44:
+    """A leader upgrades frequency to multiset (static), eq. (5)."""
+
+    def test_leader_count_scaling(self):
+        g = random_symmetric_connected(6, seed=2)
+        for ell in (1, 2, 3):
+            linputs = [(v, i < ell) for i, v in enumerate(INPUTS)]
+            alg = leader_algorithm(SUM, CM.SYMMETRIC, leader_count=ell)
+            report = run_until_stable(
+                Execution(alg, g, inputs=linputs), 60, patience=4, target=SUM(INPUTS)
+            )
+            assert report.converged
+
+
+class TestCorollary53:
+    """With a bound N, dynamic frequencies become exact in finite time."""
+
+    @pytest.mark.parametrize("n_bound", [6, 8, 12])
+    def test_exact_for_any_valid_bound(self, n_bound):
+        dyn = random_dynamic_strongly_connected(6, seed=3)
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=n_bound, f=AVERAGE)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=INPUTS), 800, patience=8, target=AVERAGE(INPUTS)
+        )
+        assert report.converged
+
+    def test_larger_bound_takes_longer(self):
+        # Stabilization is O(n² D log N): a much larger bound stabilizes
+        # no earlier (needs a finer estimate before rounding locks in).
+        rounds = {}
+        for n_bound in (7, 200):
+            dyn = random_dynamic_strongly_connected(6, seed=4)
+            alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=n_bound)
+            report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 2000, patience=8)
+            assert report.converged
+            rounds[n_bound] = report.stabilization_round
+        assert rounds[200] >= rounds[7]
+
+
+class TestCorollary54AndLeaders:
+    """Known n (or leaders) upgrades to multiset in dynamic networks."""
+
+    def test_sum_with_known_n(self):
+        dyn = random_dynamic_strongly_connected(6, seed=5)
+        alg = PushSumFrequencyAlgorithm(mode="multiset", n=6, f=SUM)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=INPUTS), 800, patience=8, target=SUM(INPUTS)
+        )
+        assert report.converged
+
+    def test_size_with_leader(self):
+        dyn = random_dynamic_strongly_connected(6, seed=6)
+        linputs = [(v, i == 0) for i, v in enumerate(INPUTS)]
+        alg = PushSumFrequencyAlgorithm(mode="multiset", leader_count=1, f=SIZE)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=linputs), 800, patience=8, target=6
+        )
+        assert report.converged
+
+
+class TestCorollary55:
+    """Without any bound, continuous-in-frequency functions converge."""
+
+    def test_average_asymptotically(self):
+        dyn = random_dynamic_strongly_connected(6, seed=7)
+
+        def weighted_average(freqs):
+            return sum(v * p for v, p in freqs.items())
+
+        alg = PushSumFrequencyAlgorithm(mode="frequencies", f=weighted_average)
+        ex = Execution(alg, dyn, inputs=INPUTS)
+        report = run_until_asymptotic(
+            ex,
+            800,
+            tolerance=1e-7,
+            target=float(AVERAGE(INPUTS)),
+            output_filter=lambda o: o is not None,
+        )
+        assert report.converged

@@ -1,0 +1,80 @@
+"""The fine structure of Corollary 5.5: continuity is exactly the divide.
+
+Without any knowledge of the network size, Push-Sum's estimates are only
+asymptotic, so a frequency-based function is computable iff it is
+continuous in frequency.  The sharpest witnesses are the threshold
+predicates Φ^ω_r of §5.4: continuous (hence computable) iff ``r`` is
+irrational.  These tests realize both sides on actual executions:
+
+* away from the threshold (or with an irrational threshold, which exact
+  rational frequencies can never hit) the predicate's value stabilizes
+  quickly and unanimously;
+* probing a *rational* threshold exactly at the input frequency, the
+  estimates hover around ``r`` and different agents sit on different
+  sides for an extended stretch — the discontinuity measurably delays
+  agreement, and which side they eventually settle on is an artifact of
+  floating-point approach direction, not a computed answer.
+"""
+
+import math
+
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_strongly_connected
+
+
+def predicate_trace(inputs, threshold, rounds=400, seed=37):
+    """Per-round unanimous predicate value (None = agents disagree)."""
+
+    def phi(freqs):
+        return 1 if freqs.get(1, 0.0) >= threshold else 0
+
+    alg = PushSumFrequencyAlgorithm(mode="frequencies", f=phi)
+    dyn = random_dynamic_strongly_connected(len(inputs), seed=seed)
+    ex = Execution(alg, dyn, inputs=inputs)
+    trace = []
+    for _ in range(rounds):
+        ex.step()
+        outs = ex.outputs()
+        trace.append(outs[0] if all(o == outs[0] for o in outs) else None)
+    return trace
+
+
+def disagreement_rounds(trace):
+    return sum(1 for v in trace if v is None)
+
+
+class TestIrrationalThresholdComputable:
+    def test_stabilizes_below(self):
+        # ν(1) = 1/2 < 1/√2 ≈ 0.707: predicate settles on 0.
+        trace = predicate_trace([1, 1, 2, 2], 1 / math.sqrt(2))
+        assert all(v == 0 for v in trace[-100:])
+
+    def test_stabilizes_above(self):
+        # ν(1) = 3/4 > 1/√2.
+        trace = predicate_trace([1, 1, 1, 2], 1 / math.sqrt(2))
+        assert all(v == 1 for v in trace[-100:])
+
+    def test_agreement_is_fast(self):
+        trace = predicate_trace([1, 1, 2, 2], 1 / math.sqrt(2))
+        assert disagreement_rounds(trace) <= 10
+
+
+class TestRationalThresholdAtBoundary:
+    def test_prolonged_disagreement_at_the_boundary(self):
+        # ν(1) = 1/2 probed with r = 1/2 exactly: estimates approach the
+        # threshold from both sides across agents, so unanimity takes an
+        # order of magnitude longer than in the clear case — the
+        # discontinuity of Φ at r, made visible.
+        boundary = predicate_trace([1, 1, 2, 2], 0.5)
+        clear = predicate_trace([1, 1, 2, 2], 1 / math.sqrt(2))
+        assert disagreement_rounds(boundary) >= 5 * max(1, disagreement_rounds(clear))
+
+    def test_nearby_rational_inputs_separate(self):
+        # The same predicate is perfectly fine *off* the boundary: inputs
+        # with ν(1) = 2/5 vs 3/5 both settle quickly — Φ^1_{1/2} fails
+        # asymptotically only where its discontinuity sits.
+        low = predicate_trace([1, 1, 2, 2, 2], 0.5)
+        high = predicate_trace([1, 1, 1, 2, 2], 0.5)
+        assert all(v == 0 for v in low[-100:])
+        assert all(v == 1 for v in high[-100:])

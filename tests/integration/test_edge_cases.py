@@ -1,0 +1,116 @@
+"""Edge cases across the stack: singletons, two agents, uniform inputs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.multiset_static import known_size_algorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.functions.library import AVERAGE, SUM
+from repro.graphs.builders import bidirectional_ring, complete_graph
+from repro.graphs.digraph import DiGraph
+
+
+SINGLETON = DiGraph(1, [(0, 0)])
+
+
+class TestSingleton:
+    def test_static_pipeline(self):
+        for model in (CM.OUTDEGREE_AWARE, CM.SYMMETRIC, CM.OUTPUT_PORT_AWARE):
+            alg = StaticFunctionAlgorithm(AVERAGE, model)
+            report = run_until_stable(
+                Execution(alg, SINGLETON, inputs=[7]), 20, patience=3, target=7
+            )
+            assert report.converged
+
+    def test_push_sum_fixed_point(self):
+        ex = Execution(PushSumAlgorithm(), SINGLETON, inputs=[7.0])
+        ex.run(5)
+        assert ex.outputs() == [7.0]
+
+    def test_gossip(self):
+        ex = Execution(GossipAlgorithm(max), SINGLETON, inputs=[7])
+        ex.run(2)
+        assert ex.outputs() == [7]
+
+    def test_history_tree(self):
+        report = run_until_stable(
+            Execution(HistoryTreeAlgorithm(), SINGLETON, inputs=[7]), 10, patience=3
+        )
+        assert report.converged
+        assert report.value == {7: Fraction(1)}
+
+    def test_known_size_sum(self):
+        alg = known_size_algorithm(SUM, CM.SYMMETRIC, n=1)
+        report = run_until_stable(
+            Execution(alg, SINGLETON, inputs=[7]), 20, patience=3, target=7
+        )
+        assert report.converged
+
+
+class TestTwoAgents:
+    def test_static_average(self):
+        g = bidirectional_ring(2)
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, g, inputs=[1, 3]), 30, patience=3, target=Fraction(2)
+        )
+        assert report.converged
+
+    def test_push_sum_frequencies(self):
+        g = bidirectional_ring(2)
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=3)
+        report = run_until_stable(Execution(alg, g, inputs=["a", "b"]), 400, patience=8)
+        assert report.converged
+        assert report.value["a"] == Fraction(1, 2)
+
+
+class TestUniformInputs:
+    def test_uniform_values_collapse_to_point_base(self):
+        # All inputs equal on a vertex-transitive graph: the minimum base
+        # is a single vertex, frequencies are {v: 1}, everything works.
+        g = complete_graph(5)
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, g, inputs=[4] * 5), 30, patience=3, target=4
+        )
+        assert report.converged
+
+    def test_uniform_push_sum_is_instant(self):
+        g = complete_graph(5)
+        ex = Execution(PushSumAlgorithm(), g, inputs=[4.0] * 5)
+        ex.step()
+        assert all(abs(o - 4.0) < 1e-12 for o in ex.outputs())
+
+    def test_negative_and_zero_values(self):
+        g = bidirectional_ring(4)
+        inputs = [-3, 0, 0, -3]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 40, patience=3, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    def test_non_numeric_values_with_set_functions(self):
+        g = bidirectional_ring(4)
+        ex = Execution(GossipAlgorithm(), g, inputs=["x", "y", "x", "z"])
+        ex.run(4)
+        assert ex.unanimous_output() == frozenset({"x", "y", "z"})
+
+
+class TestFloatInputsInStaticPipeline:
+    def test_float_labels_work(self):
+        # View labels only need hashability; floats are fine end to end.
+        g = bidirectional_ring(4)
+        inputs = [0.5, 1.5, 0.5, 1.5]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(Execution(alg, g, inputs=inputs), 40, patience=3)
+        assert report.converged
+        assert float(report.value) == 1.0

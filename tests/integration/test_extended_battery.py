@@ -1,0 +1,75 @@
+"""The wider function battery pushed through every positive cell.
+
+Tables 1 and 2 are characterizations — *every* function of the right
+class is computable, not just the three probes.  These tests run the
+full extended library (min/max/count-distinct, average/variance/mode/
+median, sum/size) through each positive regime, checking that class
+membership alone decides computability.
+"""
+
+import pytest
+
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.multiset_static import known_size_algorithm
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.core.network_class import Knowledge
+from repro.functions.classes import FunctionClass
+from repro.functions.library import EXTENDED_LIBRARY
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+from repro.dynamics.generators import random_dynamic_strongly_connected, random_dynamic_symmetric
+
+INPUTS = [3, 1, 1, 4, 1, 4]
+
+FREQ_OR_BELOW = [
+    (fn, k) for (fn, k) in EXTENDED_LIBRARY if k <= FunctionClass.FREQUENCY_BASED
+]
+
+
+class TestStaticFrequencyRegime:
+    @pytest.mark.parametrize("fn,klass", FREQ_OR_BELOW, ids=lambda x: getattr(x, "name", x))
+    def test_every_frequency_based_function_computable(self, fn, klass):
+        g = random_strongly_connected(6, seed=14)
+        alg = StaticFunctionAlgorithm(fn, CM.OUTDEGREE_AWARE)
+        report = run_until_stable(
+            Execution(alg, g, inputs=INPUTS), 60, patience=4, target=fn(INPUTS)
+        )
+        assert report.converged, fn.name
+
+
+class TestStaticMultisetRegime:
+    @pytest.mark.parametrize(
+        "fn,klass", EXTENDED_LIBRARY, ids=lambda x: getattr(x, "name", x)
+    )
+    def test_everything_computable_with_known_n(self, fn, klass):
+        g = random_symmetric_connected(6, seed=15)
+        alg = known_size_algorithm(fn, CM.SYMMETRIC, n=6)
+        report = run_until_stable(
+            Execution(alg, g, inputs=INPUTS), 60, patience=4, target=fn(INPUTS)
+        )
+        assert report.converged, fn.name
+
+
+@pytest.mark.slow
+class TestDynamicRegimes:
+    @pytest.mark.parametrize("fn,klass", FREQ_OR_BELOW, ids=lambda x: getattr(x, "name", x))
+    def test_dynamic_exact_with_bound(self, fn, klass):
+        dyn = random_dynamic_strongly_connected(6, seed=16)
+        alg = PushSumFrequencyAlgorithm(mode="exact", n_bound=8, f=fn)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=INPUTS), 800, patience=8, target=fn(INPUTS)
+        )
+        assert report.converged, fn.name
+
+    @pytest.mark.parametrize("fn,klass", FREQ_OR_BELOW, ids=lambda x: getattr(x, "name", x))
+    def test_dynamic_symmetric_no_knowledge(self, fn, klass):
+        dyn = random_dynamic_symmetric(5, seed=17)
+        alg = HistoryTreeAlgorithm(f=fn)
+        inputs = INPUTS[:5]
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=inputs), 24, patience=4, target=fn(inputs)
+        )
+        assert report.converged, fn.name

@@ -1,0 +1,53 @@
+"""Leaders sharing a value with non-leaders: the census must still add up.
+
+A leader's *input value* can coincide with followers' values; the
+(value, is_leader) pair keeps the classes apart, but the reconstructed
+census must merge them back per value.  Regression territory — the
+history-tree leader branch originally overwrote instead of accumulating.
+"""
+
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.multiset_static import leader_algorithm
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.core.network_class import Knowledge
+from repro.dynamics.generators import (
+    random_dynamic_strongly_connected,
+    random_dynamic_symmetric,
+)
+from repro.functions.library import SUM
+from repro.graphs.builders import random_symmetric_connected
+
+# The leader also holds value 1, like three followers.
+VALUES = [1, 1, 1, 2, 2, 1]
+INPUTS = [(v, i == 5) for i, v in enumerate(VALUES)]  # agent 5 leads, value 1
+
+
+class TestStaticPipeline:
+    def test_sum_with_shared_leader_value(self):
+        g = random_symmetric_connected(6, seed=31)
+        alg = leader_algorithm(SUM, CM.SYMMETRIC, leader_count=1)
+        report = run_until_stable(
+            Execution(alg, g, inputs=INPUTS), 60, patience=4, target=SUM(VALUES)
+        )
+        assert report.converged
+
+
+class TestHistoryTree:
+    def test_multiset_accumulates_shared_values(self):
+        dyn = random_dynamic_symmetric(6, seed=32)
+        alg = HistoryTreeAlgorithm(knowledge=Knowledge.LEADER, leader_count=1)
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 28, patience=4)
+        assert report.converged
+        assert report.value == {1: 4, 2: 2}
+
+
+class TestLeaderPushSum:
+    def test_multiset_with_shared_value(self):
+        dyn = random_dynamic_strongly_connected(6, seed=33)
+        alg = PushSumFrequencyAlgorithm(mode="multiset", leader_count=1)
+        report = run_until_stable(Execution(alg, dyn, inputs=INPUTS), 800, patience=8)
+        assert report.converged
+        assert report.value == {1: 4, 2: 2}

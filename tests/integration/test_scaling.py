@@ -1,0 +1,55 @@
+"""Scaling smoke tests: the pipelines at the largest sizes we run in CI."""
+
+import pytest
+
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.convergence import run_until_asymptotic, run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.functions.library import AVERAGE
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+from repro.dynamics.generators import random_dynamic_strongly_connected, random_dynamic_symmetric
+
+
+@pytest.mark.slow
+class TestStaticScaling:
+    def test_static_pipeline_n16(self):
+        g = random_strongly_connected(16, seed=20)
+        inputs = [i % 4 for i in range(16)]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.OUTDEGREE_AWARE)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 120, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    def test_static_pipeline_symmetric_n20(self):
+        g = random_symmetric_connected(20, seed=21)
+        inputs = [i % 3 for i in range(20)]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 140, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+
+@pytest.mark.slow
+class TestDynamicScaling:
+    def test_push_sum_n32(self):
+        dyn = random_dynamic_strongly_connected(32, seed=22)
+        inputs = [float(i % 8) for i in range(32)]
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+        report = run_until_asymptotic(
+            ex, 2000, tolerance=1e-8, target=sum(inputs) / 32
+        )
+        assert report.converged
+
+    def test_history_tree_n7(self):
+        dyn = random_dynamic_symmetric(7, seed=23)
+        inputs = [i % 3 for i in range(7)]
+        alg = HistoryTreeAlgorithm(f=AVERAGE)
+        report = run_until_stable(
+            Execution(alg, dyn, inputs=inputs), 28, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged

@@ -1,0 +1,105 @@
+"""Integration: Theorem 4.1 — frequency-based ⇔ computable (static).
+
+Both directions, end to end: the positive pipeline computes frequency-
+based functions exactly in all three enriched models on assorted graph
+families, and the fibration collapse defeats any algorithm on non-
+frequency-based targets.
+"""
+
+import pytest
+
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.impossibility import demonstrate_collapse, frequency_counterexample
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.functions.library import AVERAGE, SUM, frequency_of, threshold_predicate
+from repro.graphs.builders import (
+    hypercube,
+    lollipop,
+    random_strongly_connected,
+    random_symmetric_connected,
+    torus,
+)
+
+
+class TestPositiveDirection:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("model", [CM.OUTDEGREE_AWARE, CM.SYMMETRIC, CM.OUTPUT_PORT_AWARE])
+    def test_average_on_random_graphs(self, model, seed):
+        n = 6
+        build = random_symmetric_connected if model is CM.SYMMETRIC else random_strongly_connected
+        g = build(n, seed=seed)
+        inputs = [(seed + i) % 3 for i in range(n)]
+        alg = StaticFunctionAlgorithm(AVERAGE, model)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 80, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    @pytest.mark.parametrize(
+        "graph,inputs",
+        [
+            (torus(2, 4), [1, 2, 1, 2, 1, 2, 1, 2]),
+            (hypercube(3), [1, 1, 1, 1, 2, 2, 2, 2]),
+            (lollipop(4, 3), [5, 5, 5, 5, 1, 1, 1]),
+        ],
+    )
+    def test_structured_families_symmetric(self, graph, inputs):
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, graph, inputs=inputs), 100, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    def test_threshold_predicate_exact(self):
+        g = random_symmetric_connected(6, seed=9)
+        inputs = [1, 1, 1, 1, 2, 2]
+        phi = threshold_predicate(1, 0.6)
+        alg = StaticFunctionAlgorithm(phi, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 60, patience=4, target=phi(inputs)
+        )
+        assert report.converged
+
+    def test_frequency_of_each_value(self):
+        g = random_strongly_connected(6, seed=10)
+        inputs = [3, 1, 1, 4, 1, 4]
+        for value in (1, 3, 4, 99):
+            f = frequency_of(value)
+            alg = StaticFunctionAlgorithm(f, CM.OUTDEGREE_AWARE)
+            report = run_until_stable(
+                Execution(alg, g, inputs=inputs), 60, patience=4, target=f(inputs)
+            )
+            assert report.converged
+
+
+class TestNegativeDirection:
+    def test_sum_impossible_in_all_models(self):
+        cert = frequency_counterexample(SUM, [1, 2])
+        assert cert is not None
+        for model in (CM.SIMPLE_BROADCAST, CM.OUTDEGREE_AWARE, CM.OUTPUT_PORT_AWARE):
+            outcome = demonstrate_collapse(
+                PushSumAlgorithm,
+                n=cert["n"] * 2,
+                m=cert["m"] * 2,
+                base_values=[1.0, 2.0],
+                rounds=100,
+                model=model,
+            )
+            assert outcome.lifted
+            # Outputs coincide across the two rings although the sums differ.
+            assert outcome.outputs_big[0] == pytest.approx(outcome.outputs_other[0])
+
+    def test_size_impossible(self):
+        cert = frequency_counterexample(lambda v: len(v), [1, 2])
+        assert cert is not None
+
+    def test_rational_threshold_at_boundary_is_fragile(self):
+        # Φ^1_{1/2} takes different values on frequency-*close* inputs —
+        # the paper's example of a frequency-based but discontinuous
+        # function (computable exactly in static networks nonetheless).
+        phi = threshold_predicate(1, 0.5)
+        assert phi([1, 2]) == 1
+        assert phi([1, 2, 2]) == 0

@@ -1,0 +1,87 @@
+"""Integration: Theorem 5.2 — Push-Sum convergence and its rate bound."""
+
+import math
+
+import pytest
+
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.execution import Execution
+from repro.core.metrics import spread
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.generators import (
+    random_dynamic_strongly_connected,
+    sparse_pulsed_dynamic,
+)
+from repro.functions.library import quot_sum
+
+
+def rounds_to_epsilon(execution, target, epsilon, max_rounds):
+    for t in range(1, max_rounds + 1):
+        execution.step()
+        outs = execution.outputs()
+        if max(abs(o - target) for o in outs) <= epsilon:
+            return t
+    return None
+
+
+class TestConvergenceRate:
+    def test_within_paper_bound(self):
+        # Theorem 5.2: within ε of the quot-sum in O(n² D log(1/ε)) rounds.
+        n = 6
+        dyn = random_dynamic_strongly_connected(n, seed=42)
+        d = dynamic_diameter(dyn, horizon=6)
+        inputs = [float(i) for i in range(n)]
+        target = sum(inputs) / n
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+        eps = 1e-6
+        bound = max(1, round(n * n * d * math.log(1 / eps)))
+        t = rounds_to_epsilon(ex, target, eps, bound)
+        assert t is not None
+        assert t <= bound
+
+    def test_log_epsilon_scaling(self):
+        # Rounds-to-ε grows roughly linearly in log(1/ε) at fixed (n, D).
+        n = 6
+        inputs = [float(i) for i in range(n)]
+        target = sum(inputs) / n
+        times = []
+        for eps in (1e-2, 1e-4, 1e-8):
+            dyn = random_dynamic_strongly_connected(n, seed=7)
+            ex = Execution(PushSumAlgorithm(), dyn, inputs=inputs)
+            times.append(rounds_to_epsilon(ex, target, eps, 5000))
+        assert all(t is not None for t in times)
+        assert times[0] <= times[1] <= times[2]
+        # Doubling log(1/ε) should not blow up the time superlinearly.
+        assert times[2] <= 6 * max(times[0], 1)
+
+    def test_spread_monotone_nonincreasing(self):
+        dyn = random_dynamic_strongly_connected(5, seed=3)
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=[1.0, 2.0, 3.0, 4.0, 5.0])
+        prev = float("inf")
+        for _ in range(60):
+            ex.step()
+            s = spread(ex.outputs())
+            assert s <= prev + 1e-12
+            prev = s
+
+
+class TestQuotSumGenerality:
+    def test_weighted_quot_sum_on_pulsed_graph(self):
+        pairs = [(4.0, 2.0), (0.0, 1.0), (6.0, 1.0), (2.0, 4.0)]
+        dyn = sparse_pulsed_dynamic(4, pulse_every=2, seed=5, symmetric=False)
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=pairs)
+        t = rounds_to_epsilon(ex, quot_sum(pairs), 1e-7, 4000)
+        assert t is not None
+
+    def test_estimates_bounded_by_lemma_5_1(self):
+        # Lemma 5.1: after D rounds, z_i ∈ [α^D Σw, Σw] with α = 1/n.
+        n, total_w = 5, 5.0
+        dyn = random_dynamic_strongly_connected(n, seed=9)
+        d = dynamic_diameter(dyn, horizon=5)
+        ex = Execution(PushSumAlgorithm(), dyn, inputs=[1.0] * n)
+        ex.run(d)
+        for t in range(20):
+            ex.step()
+            for (_y, z) in ex.states:
+                assert z <= total_w + 1e-9
+                assert z >= (1.0 / n) ** d * total_w - 1e-12

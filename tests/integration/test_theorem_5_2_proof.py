@@ -1,0 +1,76 @@
+"""Integration: the *proof* of Theorem 5.2, checked inequality by inequality.
+
+`repro.analysis.rates` replays Push-Sum at the matrix level and verifies
+each step of the paper's argument: the B(t) factorization, Lemma 5.1's
+envelope, window safety, and the Dobrushin contraction.  These tests run
+it across graph families — a numerical audit of the proof itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.rates import trace_push_sum, verify_proof_invariants
+from repro.core.execution import Execution
+from repro.dynamics.diameter import dynamic_diameter
+from repro.dynamics.dynamic_graph import StaticAsDynamic
+from repro.dynamics.generators import (
+    random_dynamic_strongly_connected,
+    sparse_pulsed_dynamic,
+)
+from repro.graphs.builders import bidirectional_ring, directed_ring
+
+VALUES = [3.0, 1.0, 4.0, 1.0, 5.0]
+
+
+class TestProofInvariants:
+    @pytest.mark.parametrize(
+        "network",
+        [
+            StaticAsDynamic(directed_ring(5)),
+            StaticAsDynamic(bidirectional_ring(5)),
+            random_dynamic_strongly_connected(5, seed=7),
+        ],
+        ids=["directed-ring", "bidirectional-ring", "random-dynamic"],
+    )
+    def test_all_inequalities_hold(self, network):
+        d = dynamic_diameter(network, horizon=5)
+        trace = trace_push_sum(network, VALUES, rounds=30)
+        problems = verify_proof_invariants(trace, d=d, n=5)
+        assert problems == []
+
+    def test_pulsed_graph_with_disconnected_rounds(self):
+        network = sparse_pulsed_dynamic(4, pulse_every=2, seed=1, symmetric=False)
+        d = dynamic_diameter(network, horizon=6)
+        trace = trace_push_sum(network, VALUES[:4], rounds=4 * d)
+        assert verify_proof_invariants(trace, d=d, n=4) == []
+
+    def test_weighted_initialization(self):
+        network = StaticAsDynamic(bidirectional_ring(5))
+        trace = trace_push_sum(network, VALUES, weights=[1.0, 2.0, 1.0, 2.0, 1.0], rounds=25)
+        assert verify_proof_invariants(trace, d=3, n=5) == []
+
+    def test_invalid_weights_rejected(self):
+        network = StaticAsDynamic(directed_ring(3))
+        with pytest.raises(ValueError):
+            trace_push_sum(network, [1.0, 2.0, 3.0], weights=[1.0, 0.0, 1.0])
+
+
+class TestTraceMatchesSimulator:
+    def test_matrix_trace_equals_agent_execution(self):
+        # The matrix-level replay and the message-level simulator are the
+        # same algorithm: estimates must agree round by round.
+        network = random_dynamic_strongly_connected(5, seed=13)
+        trace = trace_push_sum(network, VALUES, rounds=15)
+        ex = Execution(PushSumAlgorithm(), network, inputs=VALUES)
+        for t in range(1, 16):
+            ex.step()
+            np.testing.assert_allclose(ex.outputs(), trace.x_history[t], rtol=1e-9)
+
+    def test_violations_are_detected(self):
+        # Sanity of the verifier itself: corrupt the trace and see it flag.
+        network = StaticAsDynamic(directed_ring(4))
+        trace = trace_push_sum(network, VALUES[:4], rounds=10)
+        trace.x_history[5] = trace.x_history[5] + np.array([10.0, 0, 0, 0])
+        problems = verify_proof_invariants(trace, d=3, n=4)
+        assert any("spread" in p for p in problems)

@@ -1,0 +1,136 @@
+"""Tests for stochastic matrices, α-safety, Dobrushin coefficient (§5.2–5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import (
+    bidirectional_ring,
+    complete_graph,
+    directed_ring,
+    random_symmetric_connected,
+)
+from repro.graphs.digraph import DiGraph
+from repro.linalg.stochastic import (
+    alpha_safety,
+    backward_product,
+    dobrushin_coefficient,
+    is_column_stochastic,
+    is_row_stochastic,
+    metropolis_matrix,
+    push_sum_matrix,
+    seminorm_spread,
+)
+
+
+class TestPushSumMatrix:
+    @pytest.mark.parametrize("builder", [directed_ring, bidirectional_ring, complete_graph])
+    def test_column_stochastic(self, builder):
+        a = push_sum_matrix(builder(5))
+        assert is_column_stochastic(a)
+
+    def test_entries_match_outdegrees(self):
+        g = directed_ring(3)  # outdegree 2 everywhere (self + next)
+        a = push_sum_matrix(g)
+        assert a[1, 0] == pytest.approx(0.5)
+        assert a[0, 0] == pytest.approx(0.5)
+
+    def test_mass_conservation(self):
+        g = bidirectional_ring(6)
+        a = push_sum_matrix(g)
+        v = np.arange(6.0)
+        assert (a @ v).sum() == pytest.approx(v.sum())
+
+    def test_alpha_safety(self):
+        g = complete_graph(4)
+        a = push_sum_matrix(g)
+        assert alpha_safety(a) == pytest.approx(0.25)  # 1/n
+
+    def test_safety_at_least_one_over_n(self):
+        for seed in range(3):
+            g = random_symmetric_connected(6, seed=seed)
+            assert alpha_safety(push_sum_matrix(g)) >= 1 / 6 - 1e-12
+
+
+class TestMetropolisMatrix:
+    def test_doubly_stochastic_and_symmetric(self):
+        g = random_symmetric_connected(7, seed=1)
+        w = metropolis_matrix(g)
+        assert is_row_stochastic(w)
+        assert is_column_stochastic(w)
+        assert np.allclose(w, w.T)
+
+    def test_positive_diagonal(self):
+        w = metropolis_matrix(bidirectional_ring(5))
+        assert (np.diagonal(w) > 0).all()
+
+    def test_lazy_halves_weights(self):
+        g = bidirectional_ring(5)
+        w = metropolis_matrix(g)
+        lazy = metropolis_matrix(g, lazy=True)
+        off = ~np.eye(5, dtype=bool)
+        assert np.allclose(lazy[off], w[off] / 2)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            metropolis_matrix(DiGraph(2, [(0, 1), (0, 0), (1, 1)]))
+
+    def test_average_preserved(self):
+        g = random_symmetric_connected(6, seed=2)
+        w = metropolis_matrix(g)
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0])
+        assert (w @ x).mean() == pytest.approx(x.mean())
+
+
+class TestDobrushin:
+    def test_identity_coefficient_one(self):
+        assert dobrushin_coefficient(np.eye(3)) == pytest.approx(1.0)
+
+    def test_rank_one_coefficient_zero(self):
+        p = np.full((3, 3), 1 / 3)
+        assert dobrushin_coefficient(p) == pytest.approx(0.0)
+
+    def test_single_agent(self):
+        assert dobrushin_coefficient(np.array([[1.0]])) == 0.0
+
+    def test_bound_for_safe_complete_matrix(self):
+        # δ(P) <= 1 - n·α for α-safe fully-connected P (§5.3).
+        n = 4
+        p = np.full((n, n), 1 / n)
+        p = 0.5 * p + 0.5 * np.eye(n)  # still fully positive, α = 1/8
+        alpha = alpha_safety(p)
+        assert dobrushin_coefficient(p) <= 1 - n * alpha + 1e-12
+
+    def test_submultiplicative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a = rng.random((4, 4))
+            a /= a.sum(axis=1, keepdims=True)
+            b = rng.random((4, 4))
+            b /= b.sum(axis=1, keepdims=True)
+            assert dobrushin_coefficient(a @ b) <= (
+                dobrushin_coefficient(a) * dobrushin_coefficient(b) + 1e-12
+            )
+
+    def test_contracts_seminorm(self):
+        rng = np.random.default_rng(1)
+        p = rng.random((5, 5))
+        p /= p.sum(axis=1, keepdims=True)
+        x = rng.random(5) * 10
+        assert seminorm_spread(p @ x) <= dobrushin_coefficient(p) * seminorm_spread(x) + 1e-12
+
+
+class TestBackwardProduct:
+    def test_order(self):
+        a = np.array([[1.0, 1.0], [0.0, 1.0]])
+        b = np.array([[1.0, 0.0], [1.0, 1.0]])
+        # backward_product([A(t), A(t+1)]) = A(t+1) @ A(t)
+        assert np.allclose(backward_product([a, b]), b @ a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            backward_product([])
+
+    def test_column_stochastic_closed(self):
+        gs = [directed_ring(4), bidirectional_ring(4), complete_graph(4)]
+        prod = backward_product([push_sum_matrix(g) for g in gs])
+        assert is_column_stochastic(prod)

@@ -1,0 +1,100 @@
+"""Property-based tests for the executor and the Lifting lemma.
+
+The headline property: for *every* randomly generated graph, valuation,
+and anonymous algorithm in our library, executions lift along the minimum
+base projection (Lemma 3.1) — the paper's central structural fact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.analysis.impossibility import verify_lifting_on_outputs
+from repro.core.execution import Execution
+from repro.fibrations.minimum_base import minimum_base
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=10_000),
+    st.booleans(),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def build(p):
+    n, seed, symmetric, k = p
+    builder = random_symmetric_connected if symmetric else random_strongly_connected
+    g = builder(n, seed=seed)
+    return g.with_values([float(i % k) for i in range(n)])
+
+
+class TestLiftingLemmaProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_gossip_lifts_through_minimum_base(self, p):
+        g = build(p)
+        mb = minimum_base(g)
+        assert verify_lifting_on_outputs(
+            mb.fibration, GossipAlgorithm, list(mb.base.values), rounds=6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=4),
+        st.booleans(),
+        st.lists(st.floats(min_value=-3, max_value=9), min_size=4, max_size=4),
+    )
+    def test_push_sum_lifts_through_ring_collapses(self, p, mult, directed, vals):
+        # Push-Sum is outdegree-aware, so executions only lift along
+        # fibrations that preserve the *actual* outdegrees — which the §4.1
+        # ring collapses do ("this fibration preserves ... the outdegree
+        # valuation"), while generic minimum-base projections do not
+        # (footnote 5: b_i may differ from i's outdegree in B).
+        from repro.fibrations.fibration import ring_collapse
+
+        phi = ring_collapse(p * mult, p, directed=directed)
+        assert verify_lifting_on_outputs(
+            phi, PushSumAlgorithm, vals[:p], rounds=6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_push_sum_need_not_lift_through_plain_bases(self, p):
+        # The complementary fact: along a minimum-base projection whose
+        # fibres change outdegree, Push-Sum on G and on B may genuinely
+        # diverge — this is the broadcast/outdegree separation itself, so
+        # we only check that the verifier never crashes and returns a bool.
+        g = build(p)
+        mb = minimum_base(g)
+        result = verify_lifting_on_outputs(
+            mb.fibration, PushSumAlgorithm, [float(hash(repr(v)) % 5) for v in mb.base.values], rounds=4
+        )
+        assert result in (True, False)
+
+
+class TestExecutorInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(params, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_scramble_seed_never_changes_gossip(self, p, scramble):
+        # Gossip is a true multiset algorithm: delivery order is invisible.
+        g = build(p)
+        a = Execution(GossipAlgorithm(), g, inputs=list(g.values), scramble_seed=0)
+        b = Execution(GossipAlgorithm(), g, inputs=list(g.values), scramble_seed=scramble)
+        a.run(5)
+        b.run(5)
+        assert a.outputs() == b.outputs()
+
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_push_sum_masses_conserved(self, p):
+        g = build(p)
+        inputs = [(float(v), 1.0) for v in g.values]
+        ex = Execution(PushSumAlgorithm(), g, inputs=inputs)
+        total_y = sum(v for v, _w in inputs)
+        for _ in range(6):
+            ex.step()
+            assert abs(sum(s[0] for s in ex.states) - total_y) < 1e-9
+            assert abs(sum(s[1] for s in ex.states) - g.n) < 1e-9

@@ -1,0 +1,107 @@
+"""Property-based tests for fibrations and minimum bases."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fibrations.fibration import fibres, is_fibration
+from repro.fibrations.minimum_base import equitable_partition, minimum_base
+from repro.fibrations.prime import is_fibration_prime
+from repro.functions.frequency import frequencies_of
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+from repro.linalg.exact import matvec
+from repro.linalg.perron import fibre_matrix
+
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=8),  # n
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.booleans(),  # symmetric
+    st.integers(min_value=1, max_value=3),  # number of distinct values
+)
+
+
+def build(params):
+    n, seed, symmetric, k = params
+    builder = random_symmetric_connected if symmetric else random_strongly_connected
+    g = builder(n, seed=seed)
+    return g.with_values([i % k for i in range(n)])
+
+
+class TestMinimumBaseProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_projection_is_fibration(self, params):
+        mb = minimum_base(build(params))
+        assert is_fibration(mb.fibration)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_base_is_prime(self, params):
+        mb = minimum_base(build(params))
+        assert is_fibration_prime(mb.base)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_fibre_sizes_partition_vertices(self, params):
+        g = build(params)
+        mb = minimum_base(g)
+        assert sum(mb.fibre_sizes) == g.n
+        assert all(s >= 1 for s in mb.fibre_sizes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_partition_refines_values(self, params):
+        g = build(params)
+        classes = equitable_partition(g)
+        for v in g.vertices():
+            for w in g.vertices():
+                if classes[v] == classes[w]:
+                    assert repr(g.value(v)) == repr(g.value(w))
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_fibre_sizes_solve_eq_1(self, params):
+        # Eq. (1): the fibre-size vector is in ker M.  As in §4.2 the graph
+        # is double-valued with the outdegrees (G_{v,d⁻}), which makes the
+        # outdegree constant on each fibre (footnote 5).
+        g = build(params)
+        g = g.with_pair_values([g.outdegree(v) for v in g.vertices()])
+        mb = minimum_base(g)
+        b = [g.outdegree(mb.fibre(i)[0]) for i in range(mb.base.n)]
+        for i in mb.base.vertices():
+            assert {g.outdegree(v) for v in mb.fibre(i)} == {b[i]}
+        m = fibre_matrix(mb.base, b)
+        assert matvec(m, mb.fibre_sizes) == [0] * mb.base.n
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_base_values_frequency_equivalent(self, params):
+        # The base valuation weighted by fibre sizes realizes the input's
+        # frequency function — the heart of Theorem 4.1's positive side.
+        g = build(params)
+        mb = minimum_base(g)
+        reconstructed = []
+        for i in mb.base.vertices():
+            reconstructed.extend([mb.base.value(i)] * mb.fibre_sizes[i])
+        assert frequencies_of(reconstructed) == frequencies_of(g.values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_fibres_have_equal_indegrees(self, params):
+        # Fibres are in-equitable: indegrees (not outdegrees!) are
+        # constant on every fibre — exactly why the paper must value the
+        # graph with outdegrees before eq. (1) applies.
+        g = build(params)
+        mb = minimum_base(g)
+        for i in mb.base.vertices():
+            in_degs = {g.indegree(v) for v in mb.fibre(i)}
+            assert len(in_degs) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params)
+    def test_fibres_consistent_with_fibration(self, params):
+        mb = minimum_base(build(params))
+        fb = fibres(mb.fibration)
+        assert {k: sorted(v) for k, v in fb.items()} == {
+            i: mb.fibre(i) for i in mb.base.vertices()
+        }

@@ -1,0 +1,74 @@
+"""Property-based tests for frequency functions (§2.3)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.frequency import FrequencyFunction, frequencies_of
+from repro.functions.library import AVERAGE, MAXIMUM, SUM
+
+vectors = st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=12)
+
+
+class TestFrequencyFunctionProperties:
+    @given(vectors)
+    def test_frequencies_sum_to_one(self, vec):
+        nu = frequencies_of(vec)
+        assert sum(f for _v, f in nu.items()) == 1
+
+    @given(vectors)
+    def test_frequency_matches_count(self, vec):
+        nu = frequencies_of(vec)
+        for value in set(vec):
+            assert nu[value] == Fraction(vec.count(value), len(vec))
+
+    @given(vectors, st.integers(min_value=1, max_value=4))
+    def test_repetition_invariance(self, vec, reps):
+        assert frequencies_of(vec) == frequencies_of(vec * reps)
+
+    @given(vectors, st.randoms(use_true_random=False))
+    def test_permutation_invariance(self, vec, rng):
+        shuffled = list(vec)
+        rng.shuffle(shuffled)
+        assert frequencies_of(vec) == frequencies_of(shuffled)
+
+    @given(vectors)
+    def test_canonical_vector_is_minimal_realization(self, vec):
+        nu = frequencies_of(vec)
+        canon = nu.canonical_vector()
+        assert frequencies_of(canon) == nu
+        assert len(vec) % len(canon) == 0  # canonical length divides n
+
+    @given(vectors)
+    def test_canonical_vector_idempotent(self, vec):
+        nu = frequencies_of(vec)
+        canon = nu.canonical_vector()
+        assert frequencies_of(canon).canonical_vector() == canon
+
+    @given(vectors, st.integers(min_value=1, max_value=3))
+    def test_scaled_vector_roundtrip(self, vec, factor):
+        nu = frequencies_of(vec)
+        n = nu.minimal_size() * factor
+        scaled = nu.scaled_vector(n)
+        assert len(scaled) == n
+        assert frequencies_of(scaled) == nu
+
+
+class TestFunctionClassProperties:
+    @given(vectors, st.integers(min_value=1, max_value=3))
+    def test_average_frequency_based(self, vec, reps):
+        assert AVERAGE(vec) == AVERAGE(vec * reps)
+
+    @given(vectors, st.integers(min_value=2, max_value=3))
+    def test_sum_not_frequency_based_unless_zero(self, vec, reps):
+        if SUM(vec) != 0:
+            assert SUM(vec * reps) != SUM(vec)
+
+    @given(vectors)
+    def test_max_set_based(self, vec):
+        assert MAXIMUM(vec) == MAXIMUM(sorted(set(vec)))
+
+    @given(vectors)
+    def test_average_in_convex_hull(self, vec):
+        assert min(vec) <= AVERAGE(vec) <= max(vec)

@@ -1,0 +1,76 @@
+"""Property tests for history-class counting over random dynamic graphs.
+
+The flagship exactness claim: on *any* dynamic symmetric network with
+recurrent connectivity, the history-tree algorithm eventually outputs
+the exact input frequencies — as rationals, with no knowledge of n.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_symmetric
+from repro.functions.frequency import frequencies_of
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(st.integers(min_value=0, max_value=2), min_size=5, max_size=5),
+)
+
+
+class TestExactFrequencies:
+    @settings(max_examples=8, deadline=None)
+    @given(params)
+    def test_eventually_exact_everywhere(self, p):
+        n, seed, values = p
+        inputs = values[:n]
+        truth = {w: f for w, f in frequencies_of(inputs).items()}
+        dyn = random_dynamic_symmetric(n, seed=seed)
+        ex = Execution(HistoryTreeAlgorithm(), dyn, inputs=inputs)
+        ex.run(4 * n + 8)
+        for out in ex.outputs():
+            assert out == truth
+
+    @settings(max_examples=8, deadline=None)
+    @given(params)
+    def test_outputs_are_exact_rationals_summing_to_one(self, p):
+        n, seed, values = p
+        inputs = values[:n]
+        dyn = random_dynamic_symmetric(n, seed=seed)
+        ex = Execution(HistoryTreeAlgorithm(), dyn, inputs=inputs)
+        ex.run(4 * n + 8)
+        out = ex.outputs()[0]
+        assert out is not None
+        assert all(isinstance(f, Fraction) for f in out.values())
+        assert sum(out.values(), Fraction(0)) == 1
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=2, max_value=3),
+            st.integers(min_value=0, max_value=10_000),
+            st.lists(st.integers(min_value=0, max_value=2), min_size=3, max_size=3),
+        )
+    )
+    def test_frequency_blindness_to_multiplicities(self, p):
+        # Two networks whose inputs are ν-equivalent (the vector repeated)
+        # produce the same frequency output — the positive half of
+        # "frequency-based" at the system level.  Sizes stay small: the
+        # doubled network's exact-arithmetic solves grow fast.
+        n, seed, values = p
+        inputs = values[:n]
+        small = Execution(
+            HistoryTreeAlgorithm(), random_dynamic_symmetric(n, seed=seed), inputs=inputs
+        )
+        big = Execution(
+            HistoryTreeAlgorithm(),
+            random_dynamic_symmetric(2 * n, seed=seed),
+            inputs=inputs * 2,
+        )
+        small.run(4 * n + 8)
+        big.run(8 * n + 8)
+        assert small.outputs()[0] == big.outputs()[0]

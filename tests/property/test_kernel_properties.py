@@ -1,0 +1,73 @@
+"""Property-based tests for the exact linear algebra layer."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.exact import (
+    gcd_list,
+    integer_kernel_vector,
+    kernel_basis,
+    primitive_integer_vector,
+    rational_rank,
+)
+
+small_int = st.integers(min_value=-6, max_value=6)
+matrices = st.integers(min_value=1, max_value=5).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=5).flatmap(
+        lambda cols: st.lists(
+            st.lists(small_int, min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+class TestKernelProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(matrices)
+    def test_rank_nullity(self, m):
+        cols = len(m[0])
+        assert rational_rank(m) + len(kernel_basis(m)) == cols
+
+    @settings(max_examples=80, deadline=None)
+    @given(matrices)
+    def test_kernel_vectors_annihilated(self, m):
+        for vec in kernel_basis(m):
+            for row in m:
+                assert sum(Fraction(a) * x for a, x in zip(row, vec)) == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(matrices)
+    def test_integer_kernel_consistency(self, m):
+        z = integer_kernel_vector(m)
+        if z is not None:
+            assert gcd_list(z) in (0, 1)
+            for row in m:
+                assert sum(a * x for a, x in zip(row, z)) == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.fractions(min_value=-5, max_value=5), min_size=1, max_size=6))
+    def test_primitive_vector_parallel(self, vec):
+        ints = primitive_integer_vector(vec)
+        assert len(ints) == len(vec)
+        if any(v != 0 for v in vec):
+            # ints is parallel to vec: cross-ratios agree.
+            iv = [(i, v) for i, v in enumerate(vec) if v != 0]
+            i0, v0 = iv[0]
+            for i, v in iv[1:]:
+                assert Fraction(ints[i], ints[i0]) == v / v0
+            assert gcd_list(ints) == 1
+            first = next(x for x in ints if x != 0)
+            assert first > 0
+        else:
+            assert all(x == 0 for x in ints)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(small_int, min_size=2, max_size=5))
+    def test_rank_one_construction(self, vec):
+        # The outer-product-like matrix [v; 2v; ...] has rank <= 1.
+        m = [vec, [2 * x for x in vec], [0 * x for x in vec]]
+        assert rational_rank(m) <= 1

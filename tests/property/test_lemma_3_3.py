@@ -1,0 +1,66 @@
+"""Lemma 3.3 as a property: anonymous outputs are permutation-equivariant.
+
+Network classes are closed under isomorphism, so relabeling the vertices
+of a network (and permuting the inputs accordingly) permutes the outputs
+the same way — hence only multiset-based functions can be computed.
+Hypothesis sweeps graphs, inputs, and permutations, running real
+algorithms on both sides of the isomorphism.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.execution import Execution
+from repro.graphs.builders import random_strongly_connected
+from repro.graphs.digraph import DiGraph
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=10_000),
+    st.permutations(list(range(7))),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def permuted(g: DiGraph, perm):
+    specs = [(perm[e.source], perm[e.target], e.color) for e in g.edges]
+    return DiGraph(g.n, specs)
+
+
+class TestPermutationEquivariance:
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_gossip_outputs_permute(self, p):
+        n, seed, full_perm, k = p
+        perm = [x for x in full_perm if x < n]
+        g = random_strongly_connected(n, seed=seed)
+        h = permuted(g, perm)
+        inputs = [i % k for i in range(n)]
+        permuted_inputs = [None] * n
+        for v in range(n):
+            permuted_inputs[perm[v]] = inputs[v]
+        a = Execution(GossipAlgorithm(), g, inputs=inputs).run(n + 2)
+        b = Execution(GossipAlgorithm(), h, inputs=permuted_inputs).run(n + 2)
+        for v in range(n):
+            assert a.outputs()[v] == b.outputs()[perm[v]]
+
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_push_sum_output_multiset_invariant(self, p):
+        n, seed, full_perm, k = p
+        perm = [x for x in full_perm if x < n]
+        g = random_strongly_connected(n, seed=seed)
+        h = permuted(g, perm)
+        inputs = [float(i % k) for i in range(n)]
+        permuted_inputs = [0.0] * n
+        for v in range(n):
+            permuted_inputs[perm[v]] = inputs[v]
+        a = Execution(PushSumAlgorithm(), g, inputs=inputs).run(8)
+        b = Execution(PushSumAlgorithm(), h, inputs=permuted_inputs).run(8)
+        rounded_a = Counter(round(x, 9) for x in a.outputs())
+        rounded_b = Counter(round(x, 9) for x in b.outputs())
+        assert rounded_a == rounded_b

@@ -1,0 +1,79 @@
+"""Property-based tests for the frequency Push-Sum mass accounting.
+
+The correctness of Algorithm 1 (under the asynchronous-start join
+semantics) rests on two conserved quantities per value ω: the ``y``-mass
+equals ω's multiplicity from round 0, and the ``z``-mass climbs to
+exactly ``n`` (one unit per agent, entering once at join) and stays
+there.  Hypothesis sweeps graphs and input vectors.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
+from repro.core.execution import Execution
+from repro.graphs.builders import random_strongly_connected
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=7),  # n
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=3),  # distinct values
+)
+
+
+def setup(p):
+    n, seed, k = p
+    g = random_strongly_connected(n, seed=seed)
+    inputs = [i % k for i in range(n)]
+    alg = PushSumFrequencyAlgorithm(mode="frequencies")
+    return g, inputs, Execution(alg, g, inputs=inputs)
+
+
+class TestMassAccounting:
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_y_mass_is_multiplicity(self, p):
+        g, inputs, ex = setup(p)
+        ex.run(2 * g.n + 4)
+        for value in set(inputs):
+            y_total = sum(s[1].get(value, (0.0, 0.0))[0] for s in ex.states)
+            assert math.isclose(y_total, inputs.count(value), rel_tol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_z_mass_reaches_n_and_conserves(self, p):
+        g, inputs, ex = setup(p)
+        # After n rounds every agent has joined every instance (awareness
+        # floods within the diameter <= n - 1).
+        ex.run(g.n + 1)
+        for value in set(inputs):
+            z_total = sum(s[1].get(value, (0.0, 0.0))[1] for s in ex.states)
+            assert math.isclose(z_total, g.n, rel_tol=1e-9)
+        # ... and stays exactly conserved afterwards.
+        ex.run(5)
+        for value in set(inputs):
+            z_total = sum(s[1].get(value, (0.0, 0.0))[1] for s in ex.states)
+            assert math.isclose(z_total, g.n, rel_tol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_estimates_converge_to_frequencies(self, p):
+        g, inputs, ex = setup(p)
+        ex.run(60 * g.n)
+        for out in ex.outputs():
+            assert out is not None
+            for value in set(inputs):
+                assert math.isclose(
+                    out[value], inputs.count(value) / g.n, abs_tol=1e-5
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_normalized_outputs_sum_to_one(self, p):
+        g, inputs, ex = setup(p)
+        ex.run(g.n + 2)
+        for out in ex.outputs():
+            if out is not None:
+                assert math.isclose(sum(out.values()), 1.0, rel_tol=1e-9)

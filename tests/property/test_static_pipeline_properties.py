@@ -1,0 +1,74 @@
+"""End-to-end property: Theorem 4.1's algorithm is correct on *random* networks.
+
+The strongest statement the library can make: for randomly drawn
+strongly-connected (or symmetric) graphs and random input vectors, the
+full static pipeline — views, base extraction, fibre solving,
+reconstruction — computes the exact average in every enriched model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.frequency_static import StaticFunctionAlgorithm
+from repro.algorithms.multiset_static import known_size_algorithm
+from repro.core.convergence import run_until_stable
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel as CM
+from repro.functions.library import AVERAGE, SUM
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=7, max_size=7),
+)
+
+
+class TestTheorem41EndToEnd:
+    @settings(max_examples=12, deadline=None)
+    @given(params)
+    def test_outdegree_model(self, p):
+        n, seed, values = p
+        g = random_strongly_connected(n, seed=seed)
+        inputs = values[:n]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.OUTDEGREE_AWARE)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 10 * n + 20, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    @settings(max_examples=12, deadline=None)
+    @given(params)
+    def test_symmetric_model(self, p):
+        n, seed, values = p
+        g = random_symmetric_connected(n, seed=seed)
+        inputs = values[:n]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.SYMMETRIC)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 10 * n + 20, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    @settings(max_examples=12, deadline=None)
+    @given(params)
+    def test_port_model(self, p):
+        n, seed, values = p
+        g = random_strongly_connected(n, seed=seed)
+        inputs = values[:n]
+        alg = StaticFunctionAlgorithm(AVERAGE, CM.OUTPUT_PORT_AWARE)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 10 * n + 20, patience=4, target=AVERAGE(inputs)
+        )
+        assert report.converged
+
+    @settings(max_examples=12, deadline=None)
+    @given(params)
+    def test_corollary_43_sum_with_known_n(self, p):
+        n, seed, values = p
+        g = random_strongly_connected(n, seed=seed)
+        inputs = values[:n]
+        alg = known_size_algorithm(SUM, CM.OUTDEGREE_AWARE, n=n)
+        report = run_until_stable(
+            Execution(alg, g, inputs=inputs), 10 * n + 20, patience=4, target=SUM(inputs)
+        )
+        assert report.converged

@@ -1,0 +1,91 @@
+"""Property-based tests for the stochastic-matrix layer (§5.2–5.3)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
+from repro.linalg.stochastic import (
+    alpha_safety,
+    backward_product,
+    dobrushin_coefficient,
+    is_column_stochastic,
+    is_row_stochastic,
+    metropolis_matrix,
+    push_sum_matrix,
+    seminorm_spread,
+)
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestPushSumMatrixProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(params)
+    def test_column_stochastic_on_any_graph(self, p):
+        n, seed = p
+        a = push_sum_matrix(random_strongly_connected(n, seed=seed))
+        assert is_column_stochastic(a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(params)
+    def test_alpha_safety_one_over_n(self, p):
+        n, seed = p
+        a = push_sum_matrix(random_strongly_connected(n, seed=seed))
+        assert alpha_safety(a) >= 1 / n - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(params, st.integers(min_value=1, max_value=5))
+    def test_products_preserve_column_stochasticity(self, p, k):
+        n, seed = p
+        mats = [
+            push_sum_matrix(random_strongly_connected(n, seed=seed + i))
+            for i in range(k)
+        ]
+        assert is_column_stochastic(backward_product(mats))
+
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_mass_invariant(self, p):
+        n, seed = p
+        a = push_sum_matrix(random_strongly_connected(n, seed=seed))
+        v = np.linspace(-3, 7, n)
+        assert float((a @ v).sum()) == float(v.sum()) or abs((a @ v).sum() - v.sum()) < 1e-9
+
+
+class TestMetropolisProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(params)
+    def test_doubly_stochastic_symmetric(self, p):
+        n, seed = p
+        w = metropolis_matrix(random_symmetric_connected(n, seed=seed))
+        assert is_row_stochastic(w)
+        assert is_column_stochastic(w)
+        assert np.allclose(w, w.T)
+
+    @settings(max_examples=40, deadline=None)
+    @given(params)
+    def test_contraction_toward_average(self, p):
+        n, seed = p
+        w = metropolis_matrix(random_symmetric_connected(n, seed=seed))
+        rng = np.random.default_rng(seed)
+        x = rng.random(n) * 10
+        assert seminorm_spread(w @ x) <= seminorm_spread(x) + 1e-12
+        assert float((w @ x).mean()) - float(x.mean()) < 1e-9
+
+
+class TestDobrushinProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(params)
+    def test_range_and_contraction(self, p):
+        n, seed = p
+        rng = np.random.default_rng(seed)
+        mat = rng.random((n, n)) + 1e-3
+        mat /= mat.sum(axis=1, keepdims=True)
+        delta = dobrushin_coefficient(mat)
+        assert 0.0 <= delta <= 1.0
+        x = rng.random(n) * 5
+        assert seminorm_spread(mat @ x) <= delta * seminorm_spread(x) + 1e-9

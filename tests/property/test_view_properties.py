@@ -1,0 +1,75 @@
+"""Property-based tests for views, interning, and base extraction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.minimum_base_alg import SymmetricViewAlgorithm, extract_base
+from repro.core.execution import Execution
+from repro.fibrations.minimum_base import equitable_partition, minimum_base
+from repro.graphs.builders import random_symmetric_connected
+from repro.graphs.views import ViewBuilder, all_views, dag_size
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def build(p):
+    n, seed, k = p
+    g = random_symmetric_connected(n, seed=seed)
+    return g.with_values([i % k for i in range(n)])
+
+
+class TestViewEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_deep_views_induce_equitable_partition(self, p):
+        # Depth-n views classify vertices exactly like the coarsest
+        # equitable partition (the Boldi–Vigna equivalence).
+        g = build(p)
+        views = all_views(g, depth=g.n + 1)
+        view_classes = {}
+        for v in g.vertices():
+            view_classes.setdefault(views[v].uid, []).append(v)
+        truth = {}
+        for v, c in enumerate(equitable_partition(g)):
+            truth.setdefault(c, []).append(v)
+        assert sorted(map(sorted, view_classes.values())) == sorted(
+            map(sorted, truth.values())
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(params, st.integers(min_value=0, max_value=6))
+    def test_dag_size_linear(self, p, depth):
+        g = build(p)
+        b = ViewBuilder()
+        views = all_views(g, depth=depth, builder=b)
+        for v in views:
+            assert dag_size(v) <= g.n * (depth + 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(params)
+    def test_interning_shares_across_vertices(self, p):
+        g = build(p)
+        b = ViewBuilder()
+        all_views(g, depth=8, builder=b)
+        # Total intern table is linear in n · depth, not exponential.
+        assert len(b) <= g.n * 9 + g.n
+
+
+class TestDistributedExtraction:
+    @settings(max_examples=15, deadline=None)
+    @given(params)
+    def test_extraction_eventually_matches_centralized(self, p):
+        g = build(p)
+        truth = minimum_base(g)
+        alg = SymmetricViewAlgorithm()
+        ex = Execution(alg, g, inputs=list(g.values))
+        ex.run(2 * (g.n + g.n) + 2)
+        for state in ex.states:
+            base = extract_base(state[1], alg.builder)
+            assert base is not None
+            assert base.n == truth.base.n
+            assert sorted(map(repr, base.values)) == sorted(map(repr, truth.base.values))
