@@ -1,0 +1,133 @@
+"""Experiment E1 — old-vs-new executor throughput (the engine refactor).
+
+Measures rounds/sec of the layered engine (compiled delivery plans,
+flavor-resolved transports, one scramble stream) against the pre-engine
+monolithic interpreter (kept alive verbatim as
+``ReferenceExecution(legacy_scramble=True)``) on the two workloads the
+refactor targeted:
+
+* a **static 64-node bidirectional ring** — the plan compiles once and
+  every subsequent round is pure transport (the table harness's shape);
+* a **random dynamic graph** (fresh strongly connected digraph each
+  round) — plans must be compiled per round graph, so this bounds the
+  worst case for the plan layer.
+
+Results are written to ``BENCH_engine.json`` next to this file's repo
+root, and the static-ring speedup is asserted ≥ 2× (the refactor's
+acceptance bar).
+
+Run directly (``python benchmarks/bench_engine.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.core.agent import BroadcastAlgorithm
+from repro.core.engine import ReferenceExecution
+from repro.core.execution import Execution
+from repro.dynamics.generators import random_dynamic_strongly_connected
+from repro.graphs.builders import bidirectional_ring
+
+N = 64
+ROUNDS = 300
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+class FloodCount(BroadcastAlgorithm):
+    """A cheap but honest workload: executor overhead dominates."""
+
+    def initial_state(self, input_value):
+        return int(input_value)
+
+    def message(self, state):
+        return state
+
+    def transition(self, state, received):
+        return max(state, max(received))
+
+    def output(self, state):
+        return state
+
+
+def _throughput(make_execution, rounds: int = ROUNDS, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` rounds/sec for a fresh execution each repeat."""
+    best = 0.0
+    for _ in range(repeats):
+        execution = make_execution()
+        started = time.perf_counter()
+        execution.run(rounds)
+        elapsed = time.perf_counter() - started
+        best = max(best, rounds / elapsed)
+    return best
+
+
+def _workloads():
+    inputs = list(range(N))
+    ring = bidirectional_ring(N)
+    return {
+        "static_ring_64": (
+            lambda: ReferenceExecution(
+                FloodCount(), ring, inputs=inputs, legacy_scramble=True
+            ),
+            lambda: Execution(FloodCount(), ring, inputs=inputs),
+        ),
+        "random_dynamic_64": (
+            lambda: ReferenceExecution(
+                FloodCount(),
+                random_dynamic_strongly_connected(N, seed=7),
+                inputs=inputs,
+                legacy_scramble=True,
+            ),
+            lambda: Execution(
+                FloodCount(), random_dynamic_strongly_connected(N, seed=7), inputs=inputs
+            ),
+        ),
+    }
+
+
+def run_bench() -> dict:
+    results = {"n": N, "rounds": ROUNDS, "workloads": {}}
+    for name, (make_old, make_new) in _workloads().items():
+        old_rps = _throughput(make_old)
+        new_rps = _throughput(make_new)
+        results["workloads"][name] = {
+            "old_rounds_per_sec": round(old_rps, 1),
+            "new_rounds_per_sec": round(new_rps, 1),
+            "speedup": round(new_rps / old_rps, 2),
+        }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _render(results: dict) -> str:
+    lines = [f"Engine throughput (n={results['n']}, {results['rounds']} rounds)"]
+    for name, r in results["workloads"].items():
+        lines.append(
+            f"  {name:<20} old {r['old_rounds_per_sec']:>9.1f} r/s   "
+            f"new {r['new_rounds_per_sec']:>9.1f} r/s   ({r['speedup']:.2f}x)"
+        )
+    lines.append(f"  -> {RESULT_PATH.name}")
+    return "\n".join(lines)
+
+
+def test_engine_speedup():
+    results = run_bench()
+    emit(_render(results))
+    ring = results["workloads"]["static_ring_64"]
+    assert ring["speedup"] >= 2.0, (
+        f"static-ring speedup {ring['speedup']}x below the 2x acceptance bar"
+    )
+    dynamic = results["workloads"]["random_dynamic_64"]
+    assert dynamic["speedup"] >= 1.0, (
+        f"engine slower than the naive interpreter on dynamic graphs: {dynamic}"
+    )
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))

@@ -26,6 +26,8 @@ Quickstart::
 
 from repro.core import (
     Algorithm,
+    BatchJob,
+    BatchResult,
     BroadcastAlgorithm,
     CellCharacterization,
     CommunicationModel,
@@ -35,9 +37,12 @@ from repro.core import (
     NetworkClassSpec,
     OutdegreeAlgorithm,
     OutputPortAlgorithm,
+    PlanCache,
+    canonical_repr,
     computable_class,
     discrete_metric,
     euclidean_metric,
+    run_batch,
     run_until_asymptotic,
     run_until_stable,
     table1,
@@ -122,6 +127,8 @@ __all__ = [
     "AVERAGE",
     "Algorithm",
     "AsynchronousStartGraph",
+    "BatchJob",
+    "BatchResult",
     "BroadcastAlgorithm",
     "CellCharacterization",
     "CommunicationModel",
@@ -144,6 +151,7 @@ __all__ = [
     "NetworkClassSpec",
     "OutdegreeAlgorithm",
     "OutputPortAlgorithm",
+    "PlanCache",
     "PushSumAlgorithm",
     "PushSumFrequencyAlgorithm",
     "VectorPushSumAlgorithm",
@@ -152,6 +160,7 @@ __all__ = [
     "StaticAsDynamic",
     "StaticFunctionAlgorithm",
     "bidirectional_ring",
+    "canonical_repr",
     "certify_unbounded_diameter",
     "complete_graph",
     "computable_class",
@@ -187,6 +196,7 @@ __all__ = [
     "reproduce_table1",
     "reproduce_table2",
     "ring_collapse",
+    "run_batch",
     "run_until_asymptotic",
     "run_until_stable",
     "sparse_pulsed_dynamic",

@@ -72,10 +72,42 @@ def max_message_units(execution: Execution) -> int:
     return worst
 
 
+class _WouldSendObserver:
+    """Round hook computing, after each round, the largest message any
+    agent *would* send from its new state (legacy ``bandwidth_curve``
+    semantics: post-round states, the just-delivered round's outdegrees)."""
+
+    def __init__(self) -> None:
+        self.curve: List[int] = []
+
+    def on_round(self, record) -> None:
+        algorithm = record.algorithm
+        degrees = record.plan.outdegrees
+        worst = 0
+        if isinstance(algorithm, OutputPortAlgorithm):
+            for state, d in zip(record.states, degrees):
+                msgs = algorithm.messages(state, d)
+                worst = max(worst, max(payload_units(m) for m in msgs))
+        elif isinstance(algorithm, OutdegreeAlgorithm):
+            for state, d in zip(record.states, degrees):
+                worst = max(worst, payload_units(algorithm.message(state, d)))
+        elif isinstance(algorithm, BroadcastAlgorithm):
+            for state in record.states:
+                worst = max(worst, payload_units(algorithm.message(state)))
+        self.curve.append(worst)
+
+
 def bandwidth_curve(execution: Execution, rounds: int) -> List[int]:
-    """Per-round worst-case message size while running ``execution``."""
-    curve = []
-    for _ in range(rounds):
-        execution.step()
-        curve.append(max_message_units(execution))
-    return curve
+    """Per-round worst-case message size while running ``execution``.
+
+    Implemented as a round-level observer on the engine's
+    instrumentation layer: the hook rides along the execution instead of
+    re-deriving the topology after every step.
+    """
+    observer = _WouldSendObserver()
+    execution.attach(observer)
+    try:
+        execution.run(rounds)
+    finally:
+        execution.detach(observer)
+    return observer.curve

@@ -42,8 +42,7 @@ from repro.core.computability import (
     computable_class,
 )
 from repro.algorithms.push_sum import PushSumAlgorithm
-from repro.core.convergence import run_until_asymptotic, run_until_stable
-from repro.core.execution import Execution
+from repro.core.engine import BatchJob, PlanCache, run_batch
 from repro.core.models import CommunicationModel
 from repro.core.network_class import Knowledge
 from repro.dynamics.generators import random_dynamic_strongly_connected, random_dynamic_symmetric
@@ -99,10 +98,25 @@ def _static_graph(model: CommunicationModel, n: int, seed: int) -> DiGraph:
     return random_strongly_connected(n, seed=seed)
 
 
-def _run_exact(algorithm, network, inputs, target, rounds) -> bool:
-    execution = Execution(algorithm, network, inputs=inputs)
-    report = run_until_stable(execution, rounds, patience=_PATIENCE, target=target)
-    return report.converged
+def _exact_job(algorithm, network, inputs, target, rounds, label="") -> BatchJob:
+    """A δ0 probe as a batch job (the shape ``run_batch`` consumes)."""
+    return BatchJob(
+        algorithm,
+        network,
+        inputs=inputs,
+        runner="stable",
+        rounds=rounds,
+        patience=_PATIENCE,
+        target=target,
+        label=label,
+    )
+
+
+def _run_exact(algorithm, network, inputs, target, rounds, plan_cache=None) -> bool:
+    (result,) = run_batch(
+        [_exact_job(algorithm, network, inputs, target, rounds)], plan_cache=plan_cache
+    )
+    return result.converged
 
 
 def _broadcast_refutation(f: Callable, knowledge: Knowledge, rounds: int = 24) -> bool:
@@ -156,8 +170,14 @@ def run_static_cell(
     knowledge: Knowledge,
     n: int = 6,
     seed: int = 0,
+    plan_cache: Optional[PlanCache] = None,
 ) -> CellResult:
-    """Reproduce one Table 1 cell experimentally."""
+    """Reproduce one Table 1 cell experimentally.
+
+    All positive probes of the cell go through :func:`run_batch` on a
+    shared ``plan_cache``, so the cell's graph is compiled into a
+    delivery plan once for every probe that runs on it.
+    """
     expected = computable_class(model, knowledge, dynamic=False)
     details: List[str] = []
     inputs = _probe_inputs(n)
@@ -172,6 +192,7 @@ def run_static_cell(
             [v[0] if leader else v for v in run_inputs] if leader else run_inputs,
             MAXIMUM(inputs),
             _STATIC_ROUNDS,
+            plan_cache=plan_cache,
         )
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         refuted_freq = _broadcast_refutation(AVERAGE, knowledge)
@@ -181,18 +202,29 @@ def run_static_cell(
         measured = FunctionClass.SET_BASED if (got_max and refuted_freq) else None
         return CellResult(model, knowledge, False, expected, measured, measured is expected.function_class, details)
 
-    # Enriched models: the static pipeline.
+    # Enriched models: the static pipeline, probes batched on one cache.
     def alg(f):
         if leader:
             return StaticFunctionAlgorithm(f, model, knowledge=knowledge, leader_count=1)
         return StaticFunctionAlgorithm(f, model, knowledge=knowledge, n=n)
 
-    got_max = _run_exact(alg(MAXIMUM), graph, run_inputs, MAXIMUM(inputs), _STATIC_ROUNDS)
-    got_avg = _run_exact(alg(AVERAGE), graph, run_inputs, AVERAGE(inputs), _STATIC_ROUNDS)
+    multiset_cell = knowledge in (Knowledge.EXACT_N, Knowledge.LEADER)
+    probes = [(MAXIMUM, "max"), (AVERAGE, "average")]
+    if multiset_cell:
+        probes.append((SUM, "sum"))
+    results = run_batch(
+        [
+            _exact_job(alg(f), graph, run_inputs, f(inputs), _STATIC_ROUNDS, label=name)
+            for f, name in probes
+        ],
+        plan_cache=plan_cache,
+    )
+    verdicts = {r.label: r.converged for r in results}
+    got_max, got_avg = verdicts["max"], verdicts["average"]
     details.append(f"max: {'ok' if got_max else 'FAILED'}; average: {'ok' if got_avg else 'FAILED'}")
 
-    if knowledge in (Knowledge.EXACT_N, Knowledge.LEADER):
-        got_sum = _run_exact(alg(SUM), graph, run_inputs, SUM(inputs), _STATIC_ROUNDS)
+    if multiset_cell:
+        got_sum = verdicts["sum"]
         details.append(f"sum: {'ok' if got_sum else 'FAILED'}")
         measured = FunctionClass.MULTISET_BASED if (got_max and got_avg and got_sum) else None
     else:
@@ -217,12 +249,14 @@ def run_dynamic_cell(
     knowledge: Knowledge,
     n: int = 5,
     seed: int = 0,
+    plan_cache: Optional[PlanCache] = None,
 ) -> CellResult:
     """Reproduce one Table 2 cell experimentally.
 
     For the open cells ("?") the measurement is a demonstrated *lower
     bound* (Corollary 5.5 / §5.5) and consistency means not contradicting
-    the impossibility side.
+    the impossibility side.  As in :func:`run_static_cell`, every
+    positive probe goes through :func:`run_batch` on a shared plan cache.
     """
     expected = computable_class(model, knowledge, dynamic=True)
     details: List[str] = []
@@ -234,7 +268,7 @@ def run_dynamic_cell(
         dyn = random_dynamic_strongly_connected(n, seed=seed)
         got_max = _run_exact(GossipAlgorithm(max), dyn,
                              [v[0] for v in run_inputs] if leader else run_inputs,
-                             MAXIMUM(inputs), _STATIC_ROUNDS)
+                             MAXIMUM(inputs), _STATIC_ROUNDS, plan_cache=plan_cache)
         refuted_freq = _broadcast_refutation(AVERAGE, knowledge)
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         details.append(
@@ -249,11 +283,24 @@ def run_dynamic_cell(
         # exactly (gossip) plus continuous-in-frequency asymptotically
         # (Push-Sum average), with the sum refuted.
         dyn = random_dynamic_strongly_connected(n, seed=seed)
-        got_max = _run_exact(GossipAlgorithm(max), dyn, run_inputs, MAXIMUM(inputs), _STATIC_ROUNDS)
-        avg_exec = Execution(PushSumAlgorithm(), dyn, inputs=[float(v) for v in run_inputs])
-        avg_report = run_until_asymptotic(
-            avg_exec, _DYNAMIC_ROUNDS, tolerance=1e-6, target=float(AVERAGE(inputs))
+        max_result, avg_result = run_batch(
+            [
+                _exact_job(GossipAlgorithm(max), dyn, run_inputs, MAXIMUM(inputs),
+                           _STATIC_ROUNDS, label="max"),
+                BatchJob(
+                    PushSumAlgorithm(),
+                    dyn,
+                    inputs=[float(v) for v in run_inputs],
+                    runner="asymptotic",
+                    rounds=_DYNAMIC_ROUNDS,
+                    tolerance=1e-6,
+                    target=float(AVERAGE(inputs)),
+                    label="average",
+                ),
+            ],
+            plan_cache=plan_cache,
         )
+        got_max, avg_report = max_result.converged, avg_result.report
         refuted_sum = _sum_refutation(model)
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         details.append(
@@ -299,12 +346,23 @@ def run_dynamic_cell(
         or knowledge in (Knowledge.BOUND_N, Knowledge.EXACT_N)
         else 30
     )
-    got_max = _run_exact(make(MAXIMUM), dyn, run_inputs, MAXIMUM(inputs), rounds)
-    got_avg = _run_exact(make(AVERAGE), dyn, run_inputs, AVERAGE(inputs), rounds)
+    multiset_cell = knowledge in (Knowledge.EXACT_N, Knowledge.LEADER)
+    probes = [(MAXIMUM, "max"), (AVERAGE, "average")]
+    if multiset_cell:
+        probes.append((SUM, "sum"))
+    results = run_batch(
+        [
+            _exact_job(make(f), dyn, run_inputs, f(inputs), rounds, label=name)
+            for f, name in probes
+        ],
+        plan_cache=plan_cache,
+    )
+    verdicts = {r.label: r.converged for r in results}
+    got_max, got_avg = verdicts["max"], verdicts["average"]
     details.append(f"max: {'ok' if got_max else 'FAILED'}; average: {'ok' if got_avg else 'FAILED'}")
 
-    if knowledge in (Knowledge.EXACT_N, Knowledge.LEADER):
-        got_sum = _run_exact(make(SUM), dyn, run_inputs, SUM(inputs), rounds)
+    if multiset_cell:
+        got_sum = verdicts["sum"]
         details.append(f"sum: {'ok' if got_sum else 'FAILED'}")
         measured = FunctionClass.MULTISET_BASED if (got_max and got_avg and got_sum) else None
     else:
@@ -329,16 +387,20 @@ def run_dynamic_cell(
 # ---------------------------------------------------------------------- #
 
 def reproduce_table1(n: int = 6, seed: int = 0) -> List[CellResult]:
+    """Run all 16 static cells on one shared plan cache: cells probing
+    the same graph reuse its compiled delivery schedule."""
+    plan_cache = PlanCache()
     return [
-        run_static_cell(model, knowledge, n=n, seed=seed)
+        run_static_cell(model, knowledge, n=n, seed=seed, plan_cache=plan_cache)
         for knowledge in ROW_ORDER
         for model in TABLE1_MODELS
     ]
 
 
 def reproduce_table2(n: int = 5, seed: int = 0) -> List[CellResult]:
+    plan_cache = PlanCache()
     return [
-        run_dynamic_cell(model, knowledge, n=n, seed=seed)
+        run_dynamic_cell(model, knowledge, n=n, seed=seed, plan_cache=plan_cache)
         for knowledge in ROW_ORDER
         for model in TABLE2_MODELS
     ]

@@ -3,9 +3,12 @@
 :mod:`.models` — the four communication models; :mod:`.agent` — algorithms
 as automata (state set, sending function, transition function);
 :mod:`.execution` — the synchronous round executor over static and dynamic
-graphs; :mod:`.metrics` and :mod:`.convergence` — δ-computation in metric
-spaces; :mod:`.network_class` — network classes and centralized-help
-levels; :mod:`.computability` — the machine-readable form of Tables 1 & 2.
+graphs (a façade over the layered engine of :mod:`.engine`: compiled
+delivery plans, flavor-resolved transports, the batch runner, and
+round-level instrumentation); :mod:`.metrics` and :mod:`.convergence` —
+δ-computation in metric spaces; :mod:`.network_class` — network classes
+and centralized-help levels; :mod:`.computability` — the machine-readable
+form of Tables 1 & 2.
 """
 
 from repro.core.models import CommunicationModel
@@ -16,7 +19,13 @@ from repro.core.agent import (
     OutputPortAlgorithm,
 )
 from repro.core.execution import Execution
-from repro.core.metrics import discrete_metric, euclidean_metric
+from repro.core.engine import (
+    BatchJob,
+    BatchResult,
+    PlanCache,
+    run_batch,
+)
+from repro.core.metrics import canonical_repr, discrete_metric, euclidean_metric
 from repro.core.convergence import (
     ConvergenceReport,
     run_until_asymptotic,
@@ -32,6 +41,8 @@ from repro.core.computability import (
 
 __all__ = [
     "Algorithm",
+    "BatchJob",
+    "BatchResult",
     "BroadcastAlgorithm",
     "CellCharacterization",
     "CommunicationModel",
@@ -41,9 +52,12 @@ __all__ = [
     "NetworkClassSpec",
     "OutdegreeAlgorithm",
     "OutputPortAlgorithm",
+    "PlanCache",
+    "canonical_repr",
     "computable_class",
     "discrete_metric",
     "euclidean_metric",
+    "run_batch",
     "run_until_asymptotic",
     "run_until_stable",
     "table1",

@@ -1,0 +1,129 @@
+"""The batch runner: many executions, one plan cache.
+
+Regenerating a table cell never runs *one* execution: it runs the max,
+average, and sum probes — usually on the same graph — and the benchmarks
+run whole grids of (algorithm, network, inputs) triples.  ``run_batch``
+is that shape made first-class: every job in a batch shares one
+:class:`PlanCache`, so a graph's delivery schedule is compiled once for
+the whole batch instead of once per execution, and each job declares how
+it wants to be driven:
+
+* ``runner="rounds"`` — advance a fixed number of rounds;
+* ``runner="stable"`` — the δ0 detector
+  (:func:`repro.core.convergence.run_until_stable`);
+* ``runner="asymptotic"`` — the δ2 detector
+  (:func:`repro.core.convergence.run_until_asymptotic`).
+
+Results come back in job order as :class:`BatchResult` records carrying
+the finished execution (observers still attached) and, for the detector
+runners, the :class:`~repro.core.convergence.ConvergenceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.core.agent import Algorithm
+from repro.core.engine.instrumentation import RoundObserver
+from repro.core.engine.plan import PlanCache
+
+_RUNNERS = ("rounds", "stable", "asymptotic")
+
+
+@dataclass
+class BatchJob:
+    """One (algorithm, network, inputs) triple plus how to drive it."""
+
+    algorithm: Algorithm
+    network: Any  # DiGraph or DynamicGraph
+    inputs: Optional[Sequence[Any]] = None
+    initial_states: Optional[Sequence[Any]] = None
+    scramble_seed: Optional[int] = 0
+    check_model: bool = True
+    runner: str = "rounds"
+    rounds: int = 0
+    patience: int = 5
+    target: Any = None
+    tolerance: float = 1e-6
+    metric: Optional[Callable[[Any, Any], float]] = None
+    output_filter: Optional[Callable[[Any], bool]] = None
+    observers: List[RoundObserver] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.runner not in _RUNNERS:
+            raise ValueError(f"unknown runner {self.runner!r}; pick one of {_RUNNERS}")
+        if self.rounds < 0:
+            raise ValueError("rounds must be non-negative")
+
+
+@dataclass
+class BatchResult:
+    """One finished job: the execution, its outputs, and any report."""
+
+    job: BatchJob
+    execution: Any  # repro.core.execution.Execution
+    report: Any = None  # ConvergenceReport for the detector runners
+
+    @property
+    def outputs(self) -> List[Any]:
+        return self.execution.outputs()
+
+    @property
+    def converged(self) -> bool:
+        """The detector verdict (fixed-round jobs count as converged)."""
+        return True if self.report is None else self.report.converged
+
+    @property
+    def label(self) -> str:
+        return self.job.label
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    plan_cache: Optional[PlanCache] = None,
+) -> List[BatchResult]:
+    """Run every job, sharing compiled delivery plans across the batch.
+
+    Pass an explicit ``plan_cache`` to share plans beyond one call — the
+    table harness reuses a single cache across all cells of a table.
+    """
+    # Imported here: the execution façade sits on top of this package.
+    from repro.core.convergence import run_until_asymptotic, run_until_stable
+    from repro.core.execution import Execution
+    from repro.core.metrics import euclidean_metric
+
+    cache = plan_cache if plan_cache is not None else PlanCache()
+    results: List[BatchResult] = []
+    for job in jobs:
+        execution = Execution(
+            job.algorithm,
+            job.network,
+            inputs=job.inputs,
+            initial_states=job.initial_states,
+            scramble_seed=job.scramble_seed,
+            check_model=job.check_model,
+        )
+        execution.share_plan_cache(cache)
+        for observer in job.observers:
+            execution.attach(observer)
+        if job.runner == "stable":
+            report = run_until_stable(
+                execution, job.rounds, patience=job.patience, target=job.target
+            )
+            results.append(BatchResult(job, execution, report))
+        elif job.runner == "asymptotic":
+            report = run_until_asymptotic(
+                execution,
+                job.rounds,
+                tolerance=job.tolerance,
+                target=job.target,
+                metric=job.metric or euclidean_metric,
+                output_filter=job.output_filter,
+            )
+            results.append(BatchResult(job, execution, report))
+        else:
+            execution.run(job.rounds)
+            results.append(BatchResult(job, execution))
+    return results

@@ -1,0 +1,174 @@
+"""Round-level instrumentation: observer hooks on the engine stepper.
+
+The stepper notifies attached observers once per round with a
+:class:`RoundRecord` — the compiled plan, the raw payloads, the
+post-transition states, and the wall-clock cost of the round.  When no
+observer is attached the stepper builds no record at all, so the hot
+path pays nothing.
+
+Observers included here cover what the analysis layer actually charts:
+
+* :class:`MessageCountObserver` — messages delivered per round (one per
+  in-edge of the round's graph);
+* :class:`BandwidthObserver` — the largest payload actually sent each
+  round, in the abstract units of :mod:`repro.analysis.bandwidth`;
+* :class:`StateDigestObserver` — a per-round digest of the global state
+  vector (canonical, so equal-but-reordered sets digest equally), for
+  cheap trajectory comparison and cycle detection;
+* :class:`SpreadObserver` — the per-round output spread under a
+  :mod:`repro.core.metrics` metric, the quantity the δ2 convergence
+  detector thresholds;
+* :class:`WallTimeObserver` — per-round wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.core.agent import Algorithm
+from repro.core.engine.plan import DeliveryPlan
+from repro.core.metrics import canonical_repr, euclidean_metric, spread
+
+
+class RoundRecord:
+    """Everything the engine knows about one completed round."""
+
+    __slots__ = (
+        "round_number",
+        "plan",
+        "algorithm",
+        "outgoing",
+        "inboxes",
+        "states",
+        "wall_seconds",
+    )
+
+    def __init__(
+        self,
+        round_number: int,
+        plan: DeliveryPlan,
+        algorithm: Algorithm,
+        outgoing: List[Any],
+        inboxes: List[List[Any]],
+        states: Tuple[Any, ...],
+        wall_seconds: float,
+    ):
+        self.round_number = round_number
+        self.plan = plan
+        self.algorithm = algorithm
+        self.outgoing = outgoing
+        self.inboxes = inboxes
+        self.states = states
+        self.wall_seconds = wall_seconds
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages delivered this round — one per in-edge, self-loops included."""
+        return self.plan.num_messages
+
+    def outputs(self) -> List[Any]:
+        """The agents' output variables after this round."""
+        output = self.algorithm.output
+        return [output(s) for s in self.states]
+
+    def __repr__(self) -> str:
+        return f"RoundRecord(t={self.round_number}, messages={self.messages_sent})"
+
+
+@runtime_checkable
+class RoundObserver(Protocol):
+    """Anything with an ``on_round(record)`` method."""
+
+    def on_round(self, record: RoundRecord) -> None: ...
+
+
+def state_digest(states: Sequence[Any]) -> int:
+    """A 32-bit digest of a global state vector.
+
+    Canonicalized first (:func:`repro.core.metrics.canonical_repr`), so two
+    state vectors that differ only in set/dict iteration order digest
+    identically; stable across processes (no reliance on ``hash``).
+    """
+    payload = "\x1f".join(canonical_repr(s) for s in states)
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+class MessageCountObserver:
+    """Per-round delivered-message counts (and their running total)."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = []
+
+    def on_round(self, record: RoundRecord) -> None:
+        self.counts.append(record.messages_sent)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+class BandwidthObserver:
+    """Largest payload actually sent per round, in abstract units.
+
+    Unit accounting is :func:`repro.analysis.bandwidth.payload_units`
+    (imported lazily — the analysis layer sits above the engine).
+    """
+
+    def __init__(self) -> None:
+        self.peaks: List[int] = []
+        self._payload_units = None
+
+    def on_round(self, record: RoundRecord) -> None:
+        if self._payload_units is None:
+            from repro.analysis.bandwidth import payload_units
+
+            self._payload_units = payload_units
+        units = self._payload_units
+        if record.plan.num_messages == 0:  # pragma: no cover - graphs have loops
+            self.peaks.append(0)
+            return
+        if not record.outgoing:
+            self.peaks.append(0)
+            return
+        if isinstance(record.outgoing[0], list):  # port model: one list per vertex
+            self.peaks.append(
+                max((max((units(m) for m in msgs), default=0)) for msgs in record.outgoing)
+            )
+        else:
+            self.peaks.append(max(units(m) for m in record.outgoing))
+
+
+class StateDigestObserver:
+    """Per-round canonical digests of the global state vector."""
+
+    def __init__(self) -> None:
+        self.digests: List[int] = []
+
+    def on_round(self, record: RoundRecord) -> None:
+        self.digests.append(state_digest(record.states))
+
+
+class SpreadObserver:
+    """Per-round max pairwise output distance (0 means consensus)."""
+
+    def __init__(self, metric: Callable[[Any, Any], float] = euclidean_metric) -> None:
+        self.metric = metric
+        self.spreads: List[float] = []
+
+    def on_round(self, record: RoundRecord) -> None:
+        self.spreads.append(spread(record.outputs(), self.metric))
+
+
+class WallTimeObserver:
+    """Per-round wall-clock seconds, as measured around the engine step."""
+
+    def __init__(self) -> None:
+        self.seconds: List[float] = []
+
+    def on_round(self, record: RoundRecord) -> None:
+        self.seconds.append(record.wall_seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds)

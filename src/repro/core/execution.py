@@ -9,21 +9,25 @@ the current outdegree for outdegree awareness, per-port fan-out for output
 port awareness — and message delivery order is scrambled per round so that
 a transition function relying on implicit sender identities breaks loudly
 in tests rather than silently cheating anonymity.
+
+This module is the thin public façade over the layered engine of
+:mod:`repro.core.engine`: topology plans (compiled, cached delivery
+schedules), flavor-resolved transports, the round stepper, and
+round-level instrumentation hooks.  The constructor signature and the
+round-for-round state trajectories are those of the original monolithic
+executor; the engine just reaches them faster.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Any, List, Optional, Sequence, Union
 
-from repro.core.agent import (
-    Algorithm,
-    BroadcastAlgorithm,
-    OutdegreeAlgorithm,
-    OutputPortAlgorithm,
-)
+from repro.core.agent import Algorithm
+from repro.core.engine.instrumentation import RoundObserver
+from repro.core.engine.plan import PlanCache
+from repro.core.engine.stepper import EngineStepper
+from repro.core.metrics import canonical_repr
 from repro.graphs.digraph import DiGraph
-from repro.graphs.properties import is_symmetric
 from repro.dynamics.dynamic_graph import DynamicGraph, StaticAsDynamic
 
 
@@ -43,7 +47,8 @@ class Execution:
         Explicit initial local states — the self-stabilization entry point
         (arbitrary initialization, §2.2).
     scramble_seed:
-        Seed for per-round delivery-order scrambling.  ``None`` disables
+        Seed of the per-execution scramble stream (inboxes are shuffled in
+        ``(round, receiver)`` order from one RNG).  ``None`` disables
         scrambling (messages arrive in in-edge order) — useful only for
         debugging; the default keeps anonymity honest.
     check_model:
@@ -72,109 +77,113 @@ class Execution:
         if initial_states is not None:
             if len(initial_states) != self.n:
                 raise ValueError(f"got {len(initial_states)} states for {self.n} agents")
-            self.states: List[Any] = list(initial_states)
+            states: List[Any] = list(initial_states)
         else:
             if inputs is None:
                 raise ValueError("provide inputs or initial_states")
             if len(inputs) != self.n:
                 raise ValueError(f"got {len(inputs)} inputs for {self.n} agents")
-            self.states = [algorithm.initial_state(v) for v in inputs]
-        self.round_number = 0
+            states = [algorithm.initial_state(v) for v in inputs]
         self._scramble_seed = scramble_seed
         self._check_model = check_model
         model = algorithm.model
         if check_model and model.static_only and not self._static:
             raise ValueError(f"{model} is only meaningful on static networks (§2.2)")
+        self._stepper = EngineStepper(
+            algorithm,
+            self.network,
+            states,
+            scramble_seed=scramble_seed,
+            check_model=check_model,
+        )
 
     # ------------------------------------------------------------------ #
+    # engine plumbing
+    # ------------------------------------------------------------------ #
 
-    def _outgoing(self, g: DiGraph, v: int) -> Any:
-        """The per-edge message payloads of agent ``v`` this round.
+    @property
+    def states(self) -> List[Any]:
+        """The current local states ``q_1 .. q_n``."""
+        return self._stepper.states
 
-        Returns either a single isotropic message or, in the port model, a
-        list indexed by port.
-        """
-        alg = self.algorithm
-        d = g.outdegree(v)
-        if isinstance(alg, OutputPortAlgorithm):
-            msgs = list(alg.messages(self.states[v], d))
-            if len(msgs) != d:
-                raise ValueError(
-                    f"{alg.name()} produced {len(msgs)} messages for outdegree {d}"
-                )
-            return msgs
-        if isinstance(alg, OutdegreeAlgorithm):
-            return alg.message(self.states[v], d)
-        if isinstance(alg, BroadcastAlgorithm):
-            return alg.message(self.states[v])
-        raise TypeError(f"unknown algorithm flavor: {type(alg).__name__}")
+    @states.setter
+    def states(self, new_states: Sequence[Any]) -> None:
+        self._stepper.states = list(new_states)
+
+    @property
+    def round_number(self) -> int:
+        return self._stepper.round_number
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The compiled-delivery-plan cache backing this execution."""
+        return self._stepper.plan_cache
+
+    def share_plan_cache(self, cache: PlanCache) -> "Execution":
+        """Adopt a shared cache so executions on the same graphs reuse
+        compiled plans (the batch runner does this automatically)."""
+        self._stepper.plan_cache = cache
+        return self
+
+    @property
+    def observers(self) -> List[RoundObserver]:
+        return self._stepper.observers
+
+    def attach(self, observer: RoundObserver) -> "Execution":
+        """Attach a round-level observer (see
+        :mod:`repro.core.engine.instrumentation`); returns ``self``."""
+        self._stepper.attach(observer)
+        return self
+
+    def detach(self, observer: RoundObserver) -> "Execution":
+        self._stepper.detach(observer)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # the round loop
+    # ------------------------------------------------------------------ #
 
     def step(self) -> int:
         """Run one full round; returns the new round number."""
-        t = self.round_number + 1
-        g = self.network.graph_at(t)
-        if g.n != self.n:
-            raise ValueError(f"round {t} graph has {g.n} vertices, expected {self.n}")
-        if self._check_model:
-            if not g.all_have_self_loops():
-                raise ValueError(f"round {t} graph violates the self-loop assumption (§2.1)")
-            if self.algorithm.model.requires_symmetric_network and not is_symmetric(g):
-                raise ValueError(f"round {t} graph is not symmetric but the model requires it")
-
-        outgoing = [self._outgoing(g, v) for v in range(self.n)]
-        port_model = isinstance(self.algorithm, OutputPortAlgorithm)
-
-        inboxes: List[List[Any]] = [[] for _ in range(self.n)]
-        for j in range(self.n):
-            for e in g.in_edges(j):
-                payload = outgoing[e.source]
-                if port_model:
-                    payload = payload[g.port_of(e)]
-                inboxes[j].append(payload)
-
-        if self._scramble_seed is not None:
-            for j in range(self.n):
-                rng = random.Random(self._scramble_seed * 1_000_003 + t * 9973 + j)
-                rng.shuffle(inboxes[j])
-
-        self.states = [
-            self.algorithm.transition(self.states[j], tuple(inboxes[j]))
-            for j in range(self.n)
-        ]
-        self.round_number = t
-        return t
+        return self._stepper.step()
 
     def run(self, rounds: int) -> "Execution":
         """Advance ``rounds`` rounds; returns ``self`` for chaining."""
         for _ in range(rounds):
-            self.step()
+            self._stepper.step()
         return self
 
     # ------------------------------------------------------------------ #
 
     def outputs(self) -> List[Any]:
         """Current output variables ``x_1 .. x_n``."""
-        return [self.algorithm.output(s) for s in self.states]
+        output = self.algorithm.output
+        return [output(s) for s in self._stepper.states]
 
     def unanimous_output(self) -> Any:
         """The common output if all agents agree, else ``None``.
 
-        Agreement is ``==`` with a ``repr`` fallback for unorderable or
-        exotic payloads.  (Plain ``repr`` comparison is *wrong* for sets:
-        two equal frozensets may iterate — hence print — in different
-        orders depending on insertion history and hash seed.)
+        Agreement is ``==`` with a :func:`~repro.core.metrics.canonical_repr`
+        fallback for unorderable or exotic payloads.  (Plain ``repr``
+        comparison would be wrong for sets: two equal frozensets may
+        iterate — hence print — in different orders depending on insertion
+        history and hash seed; the canonicalizer sorts them first.)
         """
         outs = self.outputs()
         first = outs[0]
+        first_canonical: Optional[str] = None
         for o in outs[1:]:
             try:
                 if o == first:
                     continue
             except Exception:
                 pass
-            if repr(o) != repr(first):
+            if first_canonical is None:
+                first_canonical = canonical_repr(first)
+            if canonical_repr(o) != first_canonical:
                 return None
-            # repr-equal but not ==: treat as agreeing (e.g. NaN payloads).
+            # canonically equal but not ==: treat as agreeing (e.g. NaN
+            # payloads, or equal sets whose == is shadowed).
         return first
 
     def __repr__(self) -> str:

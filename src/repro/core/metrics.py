@@ -11,15 +11,39 @@ from numbers import Number
 from typing import Any, Sequence
 
 
+def canonical_repr(x: Any) -> str:
+    """A ``repr`` that is stable under container iteration order.
+
+    Plain ``repr`` is wrong as an equality fallback for sets: two equal
+    frozensets may iterate — hence print — in different orders depending
+    on insertion history and the per-process hash seed.  This
+    canonicalizer sorts set elements and dict items (by their own
+    canonical reprs) and recurses through tuples and lists, so equal
+    payloads canonicalize equally regardless of construction history.
+    """
+    if isinstance(x, (set, frozenset)):
+        tag = "frozenset" if isinstance(x, frozenset) else "set"
+        return tag + "{" + ", ".join(sorted(canonical_repr(e) for e in x)) + "}"
+    if isinstance(x, dict):
+        items = sorted((canonical_repr(k), canonical_repr(v)) for k, v in x.items())
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(x, tuple):
+        body = ", ".join(canonical_repr(e) for e in x)
+        return "(" + body + ",)" if len(x) == 1 else "(" + body + ")"
+    if isinstance(x, list):
+        return "[" + ", ".join(canonical_repr(e) for e in x) + "]"
+    return repr(x)
+
+
 def discrete_metric(x: Any, y: Any) -> float:
-    """``δ0``: 0 if equal, 1 otherwise.  Equality via ``==`` with a ``repr``
-    fallback for unhashable/NaN-ish payloads."""
+    """``δ0``: 0 if equal, 1 otherwise.  Equality via ``==`` with a
+    :func:`canonical_repr` fallback for unhashable/NaN-ish payloads."""
     try:
         if x == y:
             return 0.0
     except Exception:
         pass
-    return 0.0 if repr(x) == repr(y) else 1.0
+    return 0.0 if canonical_repr(x) == canonical_repr(y) else 1.0
 
 
 def euclidean_metric(x: Any, y: Any) -> float:

@@ -32,6 +32,28 @@ class DynamicGraph(abc.ABC):
         """The graphs of rounds ``start .. start+length-1``."""
         return [self.graph_at(start + k) for k in range(length)]
 
+    # ------------------------------------------------------------------ #
+    # compiled-plan invalidation (the engine's plan layer)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def plan_epoch(self) -> int:
+        """Generation counter for compiled delivery plans.
+
+        The engine (:mod:`repro.core.engine.plan`) caches each round
+        graph's compiled delivery schedule keyed by ``(graph identity,
+        plan_epoch)``.  The returned graphs are immutable, so the epoch
+        only ever changes through :meth:`invalidate_plans` — a subclass
+        (or a user reconfiguring one, e.g. changing a loss rate mid-run)
+        calls it to retire every plan compiled so far.
+        """
+        return getattr(self, "_plan_epoch", 0)
+
+    def invalidate_plans(self) -> int:
+        """Retire all compiled plans for this network; returns the new epoch."""
+        self._plan_epoch = self.plan_epoch + 1
+        return self._plan_epoch
+
 
 class StaticAsDynamic(DynamicGraph):
     """A static network viewed as the constant dynamic graph."""
@@ -102,3 +124,9 @@ class FunctionDynamicGraph(DynamicGraph):
                 raise ValueError(f"round {t} produced a graph on {g.n} != {self.n} vertices")
             self._cache[t] = g
         return self._cache[t]
+
+    def invalidate_plans(self) -> int:
+        """Also drop the memoized graphs: a bumped epoch means the
+        callable's output is no longer trusted to be the same."""
+        self._cache.clear()
+        return super().invalidate_plans()
