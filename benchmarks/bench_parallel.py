@@ -1,0 +1,106 @@
+"""Experiment E2 — table regeneration through the process-parallel backend.
+
+Regenerates every cell of Tables 1 and 2 (16 static + 12 dynamic = 28
+cells) twice: once through the sequential batch runner, once fanned
+across a 4-worker process pool (``parallel=True``), and checks the two
+runs cell for cell — model, knowledge level, measured function class,
+consistency verdict, and detail strings must be identical, the
+determinism contract of :mod:`repro.core.engine.parallel`.
+
+Results are written to ``BENCH_parallel.json`` at the repo root:
+sequential and parallel wall time, the speedup, the host CPU count, and
+the identity verdict.  The ≥2× speedup bar is only asserted on hosts
+with at least 4 CPUs — on fewer cores a process pool cannot beat the
+sequential runner, and the honest number is recorded either way.
+
+Run directly (``python benchmarks/bench_parallel.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis.tables import reproduce_table1, reproduce_table2
+
+WORKERS = 4
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _fingerprint(cells):
+    """A cell's identity-relevant content, order preserved."""
+    return [
+        (
+            cell.model.value,
+            cell.knowledge.value,
+            cell.dynamic,
+            cell.label(),
+            cell.consistent,
+            tuple(cell.details),
+        )
+        for cell in cells
+    ]
+
+
+def _regenerate(parallel: bool):
+    """All 28 cells of Tables 1 and 2, and the wall time taken."""
+    started = time.perf_counter()
+    cells = list(reproduce_table1(parallel=parallel, workers=WORKERS))
+    cells += list(reproduce_table2(parallel=parallel, workers=WORKERS))
+    return cells, time.perf_counter() - started
+
+
+def run_bench() -> dict:
+    seq_cells, seq_seconds = min(
+        (_regenerate(parallel=False) for _ in range(REPEATS)), key=lambda r: r[1]
+    )
+    par_cells, par_seconds = min(
+        (_regenerate(parallel=True) for _ in range(REPEATS)), key=lambda r: r[1]
+    )
+    results = {
+        "cells": len(seq_cells),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "sequential_seconds": round(seq_seconds, 3),
+        "parallel_seconds": round(par_seconds, 3),
+        "speedup": round(seq_seconds / par_seconds, 2),
+        "identical": _fingerprint(seq_cells) == _fingerprint(par_cells),
+        "all_consistent": all(cell.consistent for cell in seq_cells),
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _render(results: dict) -> str:
+    return "\n".join(
+        [
+            f"Table regeneration, sequential vs {results['workers']}-worker pool "
+            f"({results['cells']} cells, {results['cpu_count']} CPUs)",
+            f"  sequential {results['sequential_seconds']:>7.3f} s",
+            f"  parallel   {results['parallel_seconds']:>7.3f} s   "
+            f"({results['speedup']:.2f}x, identical={results['identical']})",
+            f"  -> {RESULT_PATH.name}",
+        ]
+    )
+
+
+def test_parallel_tables_identical_and_fast():
+    results = run_bench()
+    emit(_render(results))
+    assert results["cells"] == 28, f"expected 28 table cells, got {results['cells']}"
+    assert results["identical"], "parallel table run diverged from sequential"
+    assert results["all_consistent"], "some cell disagrees with the paper"
+    if results["cpu_count"] >= 4:
+        assert results["speedup"] >= 2.0, (
+            f"parallel speedup {results['speedup']}x below the 2x acceptance bar "
+            f"on a {results['cpu_count']}-CPU host"
+        )
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))

@@ -29,6 +29,17 @@ def main(argv=None) -> int:
     parser.add_argument("--n", type=int, default=6, help="network size for the probes")
     parser.add_argument("--seed", type=int, default=0, help="random-graph seed")
     parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the table cells across a process pool",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for --parallel (default: one per CPU)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit a machine-readable reproduction certificate instead of tables",
@@ -42,14 +53,19 @@ def main(argv=None) -> int:
         print(json.dumps(doc, indent=2))
         return 0 if doc["summary"]["verdict"] == "PASS" else 1
 
+    parallel = True if args.parallel else None  # None keeps the env default
     failures = 0
     if args.table in ("1", "both"):
-        results = reproduce_table1(n=args.n, seed=args.seed)
+        results = reproduce_table1(
+            n=args.n, seed=args.seed, parallel=parallel, workers=args.workers
+        )
         print(format_results(results, "Table 1 — static strongly connected networks"))
         failures += sum(not r.consistent for r in results)
         print()
     if args.table in ("2", "both"):
-        results = reproduce_table2(n=min(args.n, 6), seed=args.seed)
+        results = reproduce_table2(
+            n=min(args.n, 6), seed=args.seed, parallel=parallel, workers=args.workers
+        )
         print(format_results(results, "Table 2 — dynamic networks with finite dynamic diameter"))
         failures += sum(not r.consistent for r in results)
         print()

@@ -2,13 +2,16 @@
 (:mod:`.impossibility`), cell-by-cell reproduction of Tables 1 and 2
 (:mod:`.tables`), and plain-text table rendering (:mod:`.reporting`)."""
 
+from repro.analysis.bandwidth import bandwidth_curve, bandwidth_sweep
 from repro.analysis.impossibility import (
     CollapseOutcome,
     demonstrate_collapse,
     frequency_counterexample,
+    outputs_match,
     verify_lifting_on_outputs,
 )
 from repro.analysis.certificate import certificate_json, reproduction_certificate
+from repro.analysis.rates import ProofCheck, sweep_proof_invariants
 from repro.analysis.reporting import render_table
 from repro.analysis.tables import (
     CellResult,
@@ -21,14 +24,19 @@ from repro.analysis.tables import (
 __all__ = [
     "CellResult",
     "CollapseOutcome",
+    "ProofCheck",
+    "bandwidth_curve",
+    "bandwidth_sweep",
     "certificate_json",
     "reproduction_certificate",
     "demonstrate_collapse",
     "frequency_counterexample",
+    "outputs_match",
     "render_table",
     "reproduce_table1",
     "reproduce_table2",
     "run_dynamic_cell",
     "run_static_cell",
+    "sweep_proof_invariants",
     "verify_lifting_on_outputs",
 ]

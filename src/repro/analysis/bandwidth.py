@@ -111,3 +111,27 @@ def bandwidth_curve(execution: Execution, rounds: int) -> List[int]:
     finally:
         execution.detach(observer)
     return observer.curve
+
+
+def _bandwidth_task(spec) -> List[int]:
+    algorithm_factory, network_factory, inputs, rounds = spec
+    execution = Execution(algorithm_factory(), network_factory(), inputs=list(inputs))
+    return bandwidth_curve(execution, rounds)
+
+
+def bandwidth_sweep(specs, parallel: bool = False, workers=None) -> List[List[int]]:
+    """Bandwidth curves for a grid of executions, in spec order.
+
+    ``specs`` is a sequence of
+    ``(algorithm_factory, network_factory, inputs, rounds)`` tuples —
+    factories, so every run gets fresh algorithm state and the specs
+    stay cheap to ship to pool workers.  The runs are independent, so
+    ``parallel=True`` fans them across a process pool
+    (:func:`repro.core.engine.parallel.parallel_map`).
+    """
+    specs = [tuple(s) for s in specs]
+    if parallel:
+        from repro.core.engine.parallel import parallel_map
+
+        return parallel_map(_bandwidth_task, specs, workers=workers)
+    return [_bandwidth_task(s) for s in specs]

@@ -22,6 +22,7 @@ well as simple broadcast.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -35,19 +36,47 @@ from repro.fibrations.morphism import GraphMorphism
 from repro.functions.frequency import frequencies_of
 
 
-def _outputs_match(x: Any, y: Any, rel_tol: float = 1e-9) -> bool:
+def _is_elementwise(x: Any) -> bool:
+    """Containers compared element by element (tuples, lists, ndarrays)."""
+    if isinstance(x, (list, tuple)):
+        return True
+    # Duck-typed ndarray (no hard numpy dependency in this layer): sized,
+    # indexable, and not one of the atomic/unordered payload types.
+    return (
+        hasattr(x, "__len__")
+        and hasattr(x, "__getitem__")
+        and not isinstance(x, (str, bytes, dict, set, frozenset))
+    )
+
+
+def outputs_match(
+    x: Any, y: Any, rel_tol: float = 1e-9, abs_tol: float = 1e-12, _depth: int = 1
+) -> bool:
     """Equality by ``repr``, with a float tolerance.
 
     Lifted executions are mathematically identical but may sum floats in a
-    different order, so numeric outputs are compared up to rounding."""
+    different order, so numeric outputs are compared up to rounding:
+    scalars via ``math.isclose``, and tuple/list/ndarray outputs
+    elementwise with the same tolerance (recursing one level, so vectors
+    of floats compare correctly but arbitrarily nested structures still
+    fall back to exact ``repr`` equality)."""
     if repr(x) == repr(y):
         return True
+    if _depth > 0 and _is_elementwise(x) and _is_elementwise(y):
+        if len(x) != len(y):
+            return False
+        return all(
+            outputs_match(a, b, rel_tol=rel_tol, abs_tol=abs_tol, _depth=_depth - 1)
+            for a, b in zip(x, y)
+        )
     try:
-        import math
-
-        return math.isclose(float(x), float(y), rel_tol=rel_tol, abs_tol=1e-12)
+        return math.isclose(float(x), float(y), rel_tol=rel_tol, abs_tol=abs_tol)
     except (TypeError, ValueError):
         return False
+
+
+#: Backwards-compatible private alias (pre-1.1 name).
+_outputs_match = outputs_match
 
 
 def verify_lifting_on_outputs(
@@ -72,7 +101,7 @@ def verify_lifting_on_outputs(
         total_exec.step()
         expected = lift_valuation(phi, base_exec.outputs())
         got = total_exec.outputs()
-        if not all(_outputs_match(x, y) for x, y in zip(expected, got)):
+        if not all(outputs_match(x, y) for x, y in zip(expected, got)):
             return False
     return True
 
@@ -186,13 +215,19 @@ def frequency_counterexample(
     repeated ``reps_w`` times — equivalent in frequency by construction —
     and checks ``f(v) != f(w)``.  Returns the certificate dict (vectors,
     values, ring sizes for the collapse) or ``None`` when ``f`` takes equal
-    values (no counterexample from this base)."""
+    values (no counterexample from this base).
+
+    The comparison goes through :func:`outputs_match`, not exact ``repr``
+    equality: a genuinely frequency-based ``f`` evaluated in floating
+    point (e.g. a naive ``sum(v)/len(v)`` average) can differ between
+    ``v`` and ``w`` in the last bit purely from summation order, and that
+    rounding noise must not be certified as a counterexample."""
     p = len(base_values)
     v = list(base_values) * reps_v
     w = list(base_values) * reps_w
     assert frequencies_of(v) == frequencies_of(w)
     fv, fw = f(v), f(w)
-    if repr(fv) == repr(fw):
+    if outputs_match(fv, fw):
         return None
     return {
         "base_values": list(base_values),

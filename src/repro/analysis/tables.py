@@ -21,7 +21,7 @@ bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.algorithms.constant_weight import ConstantWeightFrequency
 from repro.algorithms.gossip import GossipAlgorithm
@@ -30,6 +30,7 @@ from repro.algorithms.push_sum_frequency import PushSumFrequencyAlgorithm
 from repro.algorithms.frequency_static import StaticFunctionAlgorithm
 from repro.analysis.impossibility import (
     demonstrate_collapse,
+    outputs_match,
     two_fibre_cover,
     verify_lifting_on_outputs,
 )
@@ -142,7 +143,9 @@ def _broadcast_refutation(f: Callable, knowledge: Knowledge, rounds: int = 24) -
     raw = (lambda vec: f([v[0] if isinstance(v, tuple) else v for v in vec])) if leader else f
     v1 = list(g1.values)
     v2 = list(g2.values)
-    if repr(raw(v1)) == repr(raw(v2)):
+    # Tolerance comparison, not exact repr: float rounding noise between
+    # the two covers must not masquerade as a refutation.
+    if outputs_match(raw(v1), raw(v2)):
         return False
     mb1, mb2 = minimum_base(g1), minimum_base(g2)
     ok1 = verify_lifting_on_outputs(mb1.fibration, GossipAlgorithm, list(mb1.base.values), rounds)
@@ -386,24 +389,67 @@ def run_dynamic_cell(
 # whole tables
 # ---------------------------------------------------------------------- #
 
-def reproduce_table1(n: int = 6, seed: int = 0) -> List[CellResult]:
-    """Run all 16 static cells on one shared plan cache: cells probing
-    the same graph reuse its compiled delivery schedule."""
+def _cell_task(spec: Tuple[bool, CommunicationModel, Knowledge, int, int]) -> CellResult:
+    """One table cell from a picklable spec — the unit the pool fans out."""
+    dynamic, model, knowledge, n, seed = spec
+    runner = run_dynamic_cell if dynamic else run_static_cell
+    return runner(model, knowledge, n=n, seed=seed)
+
+
+def _run_cells(specs, parallel: Optional[bool], workers: Optional[int]) -> List[CellResult]:
+    """Run table cells sequentially (one shared plan cache) or fanned
+    across a process pool (each worker keeps its own cache)."""
+    from repro.core.engine.batch import parallel_enabled_by_env
+    from repro.core.engine.parallel import parallel_map
+
+    if parallel is None:
+        parallel = parallel_enabled_by_env()
+    if parallel:
+        return parallel_map(_cell_task, specs, workers=workers)
     plan_cache = PlanCache()
     return [
-        run_static_cell(model, knowledge, n=n, seed=seed, plan_cache=plan_cache)
+        (run_dynamic_cell if dynamic else run_static_cell)(
+            model, knowledge, n=n, seed=seed, plan_cache=plan_cache
+        )
+        for dynamic, model, knowledge, n, seed in specs
+    ]
+
+
+def reproduce_table1(
+    n: int = 6,
+    seed: int = 0,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
+) -> List[CellResult]:
+    """Run all 16 static cells.
+
+    Sequentially (default) the cells share one plan cache, so cells
+    probing the same graph reuse its compiled delivery schedule;
+    ``parallel=True`` fans independent cells across a process pool
+    instead (``workers`` defaults to one per CPU).  ``parallel=None``
+    resolves to the ``REPRO_PARALLEL=1`` environment switch."""
+    specs = [
+        (False, model, knowledge, n, seed)
         for knowledge in ROW_ORDER
         for model in TABLE1_MODELS
     ]
+    return _run_cells(specs, parallel, workers)
 
 
-def reproduce_table2(n: int = 5, seed: int = 0) -> List[CellResult]:
-    plan_cache = PlanCache()
-    return [
-        run_dynamic_cell(model, knowledge, n=n, seed=seed, plan_cache=plan_cache)
+def reproduce_table2(
+    n: int = 5,
+    seed: int = 0,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
+) -> List[CellResult]:
+    """Run all 12 dynamic cells; same ``parallel`` contract as
+    :func:`reproduce_table1`."""
+    specs = [
+        (True, model, knowledge, n, seed)
         for knowledge in ROW_ORDER
         for model in TABLE2_MODELS
     ]
+    return _run_cells(specs, parallel, workers)
 
 
 def format_results(results: List[CellResult], title: str) -> str:

@@ -22,8 +22,11 @@ from repro.core.execution import Execution
 from repro.core.engine import (
     BatchJob,
     BatchResult,
+    ExecutionSnapshot,
     PlanCache,
+    parallel_map,
     run_batch,
+    run_batch_parallel,
 )
 from repro.core.metrics import canonical_repr, discrete_metric, euclidean_metric
 from repro.core.convergence import (
@@ -48,6 +51,7 @@ __all__ = [
     "CommunicationModel",
     "ConvergenceReport",
     "Execution",
+    "ExecutionSnapshot",
     "Knowledge",
     "NetworkClassSpec",
     "OutdegreeAlgorithm",
@@ -57,7 +61,9 @@ __all__ = [
     "computable_class",
     "discrete_metric",
     "euclidean_metric",
+    "parallel_map",
     "run_batch",
+    "run_batch_parallel",
     "run_until_asymptotic",
     "run_until_stable",
     "table1",

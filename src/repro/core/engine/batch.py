@@ -17,10 +17,19 @@ it wants to be driven:
 Results come back in job order as :class:`BatchResult` records carrying
 the finished execution (observers still attached) and, for the detector
 runners, the :class:`~repro.core.convergence.ConvergenceReport`.
+
+Since the jobs are independent, the whole batch can also fan out across
+a process pool: ``run_batch(jobs, parallel=True)`` delegates to
+:mod:`repro.core.engine.parallel` and returns results that are
+bit-identical to the sequential path (outputs, reports, deterministic
+observer aggregates), merged back in job order.  Setting the
+environment variable ``REPRO_PARALLEL=1`` flips the default, which is
+how CI forces every batch through the parallel backend.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Union
 
@@ -56,15 +65,30 @@ class BatchJob:
             raise ValueError(f"unknown runner {self.runner!r}; pick one of {_RUNNERS}")
         if self.rounds < 0:
             raise ValueError("rounds must be non-negative")
+        if self.runner != "rounds" and self.rounds <= 0:
+            # A detector given zero rounds would trivially "converge"
+            # without ever stepping the execution.
+            raise ValueError(
+                f"runner={self.runner!r} needs a positive round budget, got rounds={self.rounds}"
+            )
 
 
 @dataclass
 class BatchResult:
-    """One finished job: the execution, its outputs, and any report."""
+    """One finished job: the execution, its outputs, and any report.
+
+    ``execution`` is a live :class:`repro.core.execution.Execution` on
+    the sequential path and an
+    :class:`~repro.core.engine.parallel.ExecutionSnapshot` when the job
+    ran in a pool worker.  ``worker_error`` is ``None`` unless the job's
+    worker crashed or timed out and the job was recovered by the
+    in-parent sequential fallback (the result itself is still valid).
+    """
 
     job: BatchJob
-    execution: Any  # repro.core.execution.Execution
+    execution: Any  # repro.core.execution.Execution or ExecutionSnapshot
     report: Any = None  # ConvergenceReport for the detector runners
+    worker_error: Optional[str] = None
 
     @property
     def outputs(self) -> List[Any]:
@@ -80,50 +104,83 @@ class BatchResult:
         return self.job.label
 
 
-def run_batch(
-    jobs: Sequence[BatchJob],
-    plan_cache: Optional[PlanCache] = None,
-) -> List[BatchResult]:
-    """Run every job, sharing compiled delivery plans across the batch.
-
-    Pass an explicit ``plan_cache`` to share plans beyond one call — the
-    table harness reuses a single cache across all cells of a table.
-    """
+def _execute_job(job: BatchJob, cache: PlanCache) -> BatchResult:
+    """Run one job to completion on the given plan cache."""
     # Imported here: the execution façade sits on top of this package.
     from repro.core.convergence import run_until_asymptotic, run_until_stable
     from repro.core.execution import Execution
     from repro.core.metrics import euclidean_metric
 
-    cache = plan_cache if plan_cache is not None else PlanCache()
-    results: List[BatchResult] = []
-    for job in jobs:
-        execution = Execution(
-            job.algorithm,
-            job.network,
-            inputs=job.inputs,
-            initial_states=job.initial_states,
-            scramble_seed=job.scramble_seed,
-            check_model=job.check_model,
+    execution = Execution(
+        job.algorithm,
+        job.network,
+        inputs=job.inputs,
+        initial_states=job.initial_states,
+        scramble_seed=job.scramble_seed,
+        check_model=job.check_model,
+    )
+    execution.share_plan_cache(cache)
+    for observer in job.observers:
+        execution.attach(observer)
+    if job.runner == "stable":
+        report = run_until_stable(
+            execution, job.rounds, patience=job.patience, target=job.target
         )
-        execution.share_plan_cache(cache)
-        for observer in job.observers:
-            execution.attach(observer)
-        if job.runner == "stable":
-            report = run_until_stable(
-                execution, job.rounds, patience=job.patience, target=job.target
-            )
-            results.append(BatchResult(job, execution, report))
-        elif job.runner == "asymptotic":
-            report = run_until_asymptotic(
-                execution,
-                job.rounds,
-                tolerance=job.tolerance,
-                target=job.target,
-                metric=job.metric or euclidean_metric,
-                output_filter=job.output_filter,
-            )
-            results.append(BatchResult(job, execution, report))
-        else:
-            execution.run(job.rounds)
-            results.append(BatchResult(job, execution))
-    return results
+        return BatchResult(job, execution, report)
+    if job.runner == "asymptotic":
+        report = run_until_asymptotic(
+            execution,
+            job.rounds,
+            tolerance=job.tolerance,
+            target=job.target,
+            metric=job.metric or euclidean_metric,
+            output_filter=job.output_filter,
+        )
+        return BatchResult(job, execution, report)
+    execution.run(job.rounds)
+    return BatchResult(job, execution)
+
+
+def parallel_enabled_by_env() -> bool:
+    """Whether ``REPRO_PARALLEL=1`` forces the parallel backend on."""
+    return os.environ.get("REPRO_PARALLEL", "") == "1"
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    plan_cache: Optional[PlanCache] = None,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
+    max_retries: int = 1,
+    job_timeout: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+) -> List[BatchResult]:
+    """Run every job, sharing compiled delivery plans across the batch.
+
+    Pass an explicit ``plan_cache`` to share plans beyond one call — the
+    table harness reuses a single cache across all cells of a table.
+
+    ``parallel=True`` fans the jobs across a process pool
+    (:mod:`repro.core.engine.parallel`): ``workers`` picks the pool size
+    (default: one per CPU), ``max_retries`` and ``job_timeout`` set the
+    crash/timeout recovery policy, and ``chunk_size`` overrides how many
+    jobs ride in one worker task.  Results are bit-identical to the
+    sequential path and come back in job order either way.  The default
+    ``parallel=None`` resolves to the ``REPRO_PARALLEL=1`` environment
+    switch (off otherwise).
+    """
+    if parallel is None:
+        parallel = parallel_enabled_by_env()
+    if parallel:
+        from repro.core.engine.parallel import run_batch_parallel
+
+        return run_batch_parallel(
+            jobs,
+            plan_cache=plan_cache,
+            workers=workers,
+            max_retries=max_retries,
+            job_timeout=job_timeout,
+            chunk_size=chunk_size,
+        )
+    cache = plan_cache if plan_cache is not None else PlanCache()
+    return [_execute_job(job, cache) for job in jobs]

@@ -1,0 +1,323 @@
+"""Process-parallel batch execution: independent jobs fanned across workers.
+
+Every :class:`~repro.core.engine.batch.BatchJob` is self-contained — its
+own algorithm instance, its own network, its own scramble stream — so a
+batch is embarrassingly parallel.  This module is the backend behind
+``run_batch(jobs, parallel=True)`` and the generic :func:`parallel_map`
+used by the table/sweep harnesses.  Design points:
+
+* **Worker model.**  A ``concurrent.futures.ProcessPoolExecutor`` over
+  contiguous chunks of job indices.  Under the ``fork`` start method the
+  payload (jobs, or a function + items) is published in a module global
+  immediately before the pool forks, so workers read it from inherited
+  memory — closures and lambdas that standard pickling rejects still
+  reach the workers.  On spawn-only platforms the payload is pickled
+  instead (and an unpicklable payload degrades to the sequential path).
+* **Per-worker plan cache.**  The pool initializer gives every worker
+  process its own :class:`~repro.core.engine.plan.PlanCache`, reused
+  across all chunks that worker executes — the batch-wide plan sharing
+  of the sequential runner, minus cross-process coordination.
+* **Determinism.**  Each job runs with its own scramble seed exactly as
+  the sequential runner would, workers ship back a serialized snapshot
+  (outputs, final states, round number, :class:`ConvergenceReport`,
+  post-run observer state), and the parent merges snapshots **in job
+  order** — so outputs, reports, and deterministic observer aggregates
+  are bit-identical to ``parallel=False``.  (Wall-clock observers report
+  worker-side timings; those are inherently non-deterministic either
+  way.)
+* **Robustness.**  A chunk whose worker crashes is resubmitted to a
+  fresh pool up to ``max_retries`` times; a chunk that exhausts its
+  retries, exceeds ``job_timeout`` seconds per job, or whose results
+  fail to serialize is re-run sequentially **in the parent process**
+  (so the batch always completes), and every job recovered that way
+  carries the failure string in ``BatchResult.worker_error``.
+* **No nesting.**  Pool workers never re-enter the parallel backend:
+  ``run_batch``/``parallel_map`` calls made inside a worker (the table
+  cells do this) run sequentially there.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine.plan import PlanCache
+
+# Set by the pool initializer in worker processes only; guards against
+# nested pools (daemonic workers cannot fork grandchildren).
+_IN_WORKER = False
+
+# Fork-inherited payload: published in the parent for the duration of one
+# scatter so freshly forked workers see it without pickling.
+_FORK_PAYLOAD: Any = None
+
+# The worker-local plan cache, created once per worker process.
+_WORKER_CACHE: Optional[PlanCache] = None
+
+
+def in_worker() -> bool:
+    """Whether this process is a pool worker of the parallel backend."""
+    return _IN_WORKER
+
+
+def default_workers() -> int:
+    """Default pool size: one worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+def _init_worker() -> None:
+    global _IN_WORKER, _WORKER_CACHE
+    _IN_WORKER = True
+    _WORKER_CACHE = PlanCache()
+
+
+class ExecutionSnapshot:
+    """A finished worker-side execution, as seen from the parent.
+
+    Stands in for :class:`repro.core.execution.Execution` on parallel
+    :class:`~repro.core.engine.batch.BatchResult` records: it carries the
+    final ``outputs()``, ``states`` (``None`` when the worker's states
+    were not serializable), and ``round_number``, plus the parent's own
+    ``algorithm`` reference.  It cannot be stepped further.
+    """
+
+    __slots__ = ("algorithm", "states", "round_number", "_outputs")
+
+    def __init__(self, algorithm: Any, states: Optional[List[Any]], round_number: int, outputs: List[Any]):
+        self.algorithm = algorithm
+        self.states = states
+        self.round_number = round_number
+        self._outputs = list(outputs)
+
+    def outputs(self) -> List[Any]:
+        return list(self._outputs)
+
+    def __repr__(self) -> str:
+        return f"ExecutionSnapshot(round={self.round_number}, n={len(self._outputs)})"
+
+
+def _worker_chunk(kind: str, indices: Sequence[int], blob: Optional[bytes]) -> List[Tuple[int, Any]]:
+    """Run one chunk inside a pool worker; returns ``(index, outcome)`` pairs."""
+    payload = _FORK_PAYLOAD if blob is None else pickle.loads(blob)
+    if kind == "batch":
+        from repro.core.engine.batch import _execute_job
+
+        jobs = payload
+        cache = _WORKER_CACHE if _WORKER_CACHE is not None else PlanCache()
+        out: List[Tuple[int, Any]] = []
+        for i in indices:
+            job = jobs[i]
+            result = _execute_job(job, cache)
+            execution = result.execution
+            try:  # states may hold unserializable payloads; outputs must not
+                states = pickle.loads(pickle.dumps(execution.states))
+            except Exception:
+                states = None
+            out.append(
+                (i, (result.outputs, states, execution.round_number, result.report, list(job.observers)))
+            )
+        return out
+    fn, items = payload
+    return [(i, fn(items[i])) for i in indices]
+
+
+def _fresh_executor(workers: int, ctx) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx, initializer=_init_worker)
+
+
+def _retire_executor(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on stragglers (crashed or hung)."""
+    try:
+        for process in list(getattr(executor, "_processes", {}).values()):
+            process.terminate()
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - pre-3.9 signature
+        executor.shutdown(wait=False)
+
+
+def _chunk_indices(n: int, workers: int, chunk_size: Optional[int]) -> List[List[int]]:
+    size = chunk_size if chunk_size else max(1, math.ceil(n / (workers * 2)))
+    return [list(range(start, min(start + size, n))) for start in range(0, n, size)]
+
+
+def _scatter(
+    kind: str,
+    payload: Any,
+    n_items: int,
+    workers: int,
+    max_retries: int,
+    timeout: Optional[float],
+    chunk_size: Optional[int],
+    run_inline: Callable[[Sequence[int]], List[Tuple[int, Any]]],
+) -> Tuple[Dict[int, Any], Dict[int, str]]:
+    """Fan chunks across a pool; returns ``(outcomes, errors)`` by index.
+
+    ``run_inline`` is the in-parent sequential fallback for a chunk; any
+    index recovered through it gets the triggering failure recorded in
+    ``errors``.
+    """
+    outcomes: Dict[int, Any] = {}
+    errors: Dict[int, str] = {}
+    if n_items == 0:
+        return outcomes, errors
+
+    blob: Optional[bytes] = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        ctx = multiprocessing.get_context("spawn")
+        try:
+            blob = pickle.dumps(payload)
+        except Exception:
+            for i, value in run_inline(list(range(n_items))):
+                outcomes[i] = value
+            return outcomes, errors
+
+    global _FORK_PAYLOAD
+    _FORK_PAYLOAD = payload if blob is None else None
+    executor: Optional[ProcessPoolExecutor] = None
+    try:
+        pending: List[Tuple[List[int], int]] = [
+            (chunk, 0) for chunk in _chunk_indices(n_items, workers, chunk_size)
+        ]
+        while pending:
+            if executor is None:
+                executor = _fresh_executor(workers, ctx)
+            in_flight = [
+                (executor.submit(_worker_chunk, kind, chunk, blob), chunk, attempts)
+                for chunk, attempts in pending
+            ]
+            pending = []
+            dirty = False
+            for future, chunk, attempts in in_flight:
+                chunk_timeout = timeout * len(chunk) if timeout is not None else None
+                try:
+                    for i, value in future.result(chunk_timeout):
+                        outcomes[i] = value
+                    continue
+                except _FutureTimeout:
+                    reason = (
+                        f"job timeout: chunk of {len(chunk)} exceeded "
+                        f"{chunk_timeout:.3g}s in the worker pool"
+                    )
+                    dirty = True
+                    retryable = False
+                except BrokenProcessPool as exc:
+                    reason = f"worker crashed: {type(exc).__name__}: {exc}"
+                    dirty = True
+                    retryable = True
+                except Exception as exc:  # task error or unserializable result
+                    reason = f"{type(exc).__name__}: {exc}"
+                    retryable = True
+                if retryable and attempts < max_retries:
+                    pending.append((chunk, attempts + 1))
+                else:
+                    for i, value in run_inline(chunk):
+                        outcomes[i] = value
+                    for i in chunk:
+                        errors[i] = reason
+            if dirty and executor is not None:
+                _retire_executor(executor)
+                executor = None
+    finally:
+        _FORK_PAYLOAD = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+    return outcomes, errors
+
+
+def run_batch_parallel(
+    jobs: Sequence[Any],
+    plan_cache: Optional[PlanCache] = None,
+    workers: Optional[int] = None,
+    max_retries: int = 1,
+    job_timeout: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Run a batch across a process pool; results in job order.
+
+    Semantics match ``run_batch(jobs)`` exactly on outputs, reports, and
+    deterministic observer aggregates (see the module docstring for the
+    determinism and robustness guarantees).  ``plan_cache`` only backs
+    the in-parent fallback path — pool workers keep their own caches.
+    Collapses to the sequential runner inside pool workers, for batches
+    of fewer than two jobs, and for pools of fewer than two workers.
+    """
+    from repro.core.engine.batch import BatchResult, _execute_job
+
+    jobs = list(jobs)
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if job_timeout is not None and job_timeout <= 0:
+        raise ValueError("job_timeout must be positive (or None)")
+    workers = default_workers() if workers is None else workers
+    fallback_cache = plan_cache if plan_cache is not None else PlanCache()
+
+    def run_inline(indices: Sequence[int]) -> List[Tuple[int, Any]]:
+        return [(i, _execute_job(jobs[i], fallback_cache)) for i in indices]
+
+    if _IN_WORKER or workers < 2 or len(jobs) < 2:
+        return [result for _i, result in run_inline(list(range(len(jobs))))]
+
+    outcomes, errors = _scatter(
+        "batch", jobs, len(jobs), workers, max_retries, job_timeout, chunk_size, run_inline
+    )
+    merged: List[Any] = []
+    for i, job in enumerate(jobs):
+        outcome = outcomes[i]
+        if isinstance(outcome, BatchResult):  # recovered in-parent: already real
+            outcome.worker_error = errors.get(i)
+            merged.append(outcome)
+            continue
+        outputs, states, round_number, report, worker_observers = outcome
+        for mine, theirs in zip(job.observers, worker_observers):
+            try:  # adopt the worker-side recordings into the caller's objects
+                mine.__dict__.clear()
+                mine.__dict__.update(theirs.__dict__)
+            except AttributeError:  # pragma: no cover - slotted observer
+                pass
+        snapshot = ExecutionSnapshot(job.algorithm, states, round_number, outputs)
+        merged.append(BatchResult(job, snapshot, report, worker_error=errors.get(i)))
+    return merged
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+    max_retries: int = 1,
+    task_timeout: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(x) for x in items]`` across a process pool, in item order.
+
+    The deterministic-merge/retry/fallback machinery of the batch
+    backend, for arbitrary independent tasks — the table harness fans
+    whole cells out through this, and the analysis sweeps fan their
+    configurations.  ``fn`` and each item must be serializable on
+    spawn-only platforms; under ``fork`` they only need to be
+    serializable in the *return* direction.  Failed chunks fall back to
+    running ``fn`` in the parent, so exceptions raised by ``fn``
+    ultimately propagate exactly as in the list comprehension.
+    """
+    items = list(items)
+    workers = default_workers() if workers is None else workers
+    if _IN_WORKER or workers < 2 or len(items) < 2:
+        return [fn(x) for x in items]
+
+    def run_inline(indices: Sequence[int]) -> List[Tuple[int, Any]]:
+        return [(i, fn(items[i])) for i in indices]
+
+    outcomes, _errors = _scatter(
+        "map", (fn, items), len(items), workers, max_retries, task_timeout, chunk_size, run_inline
+    )
+    return [outcomes[i] for i in range(len(items))]

@@ -7,6 +7,7 @@ from repro.algorithms.push_sum import PushSumAlgorithm
 from repro.analysis.impossibility import (
     demonstrate_collapse,
     frequency_counterexample,
+    outputs_match,
     two_fibre_cover,
     verify_lifting_on_outputs,
 )
@@ -131,3 +132,59 @@ class TestTwoFibreCovers:
             two_fibre_cover(2, 1)
         with pytest.raises(ValueError):
             two_fibre_cover(0, 3)
+
+
+def naive_average(vec):
+    """A float average whose repr depends on summation length (the trap
+    that used to produce spurious certificates through ``repr`` equality)."""
+    return sum(vec) / len(vec)
+
+
+class TestFloatToleranceRegression:
+    def test_the_trap_is_real(self):
+        # Same multiset frequencies, different summation lengths, different
+        # last-bit rounding: repr-equality calls these "different outputs".
+        a = naive_average([0.1, 0.1])
+        b = naive_average([0.1, 0.1] * 3)
+        assert repr(a) != repr(b)
+        assert abs(a - b) < 1e-12
+
+    def test_no_spurious_certificate_for_float_average(self):
+        # Regression: frequency_counterexample compared outputs by repr, so
+        # rounding noise in a frequency-based function was misread as a
+        # genuine disagreement and certified SUM-style impossibility.
+        assert frequency_counterexample(naive_average, [0.1, 0.1], reps_v=1, reps_w=3) is None
+
+    def test_sum_still_certified(self):
+        cert = frequency_counterexample(SUM, [1, 2])
+        assert cert is not None
+        assert cert["f(v)"] != cert["f(w)"]
+
+
+class TestOutputsMatch:
+    def test_scalar_tolerance(self):
+        assert outputs_match(0.1 + 0.2, 0.3)
+        assert outputs_match(1e-13, 0.0)  # abs_tol catches near-zero noise
+        assert not outputs_match(1.0, 1.1)
+
+    def test_non_numeric_falls_back_to_repr(self):
+        assert outputs_match("abc", "abc")
+        assert not outputs_match("abc", "abd")
+        assert outputs_match(frozenset({1, 2}), frozenset({1, 2}))
+
+    def test_sequences_compared_elementwise(self):
+        assert outputs_match([0.1 + 0.2, 1.0], [0.3, 1.0])
+        assert outputs_match((0.1 + 0.2,), (0.3,))
+        assert not outputs_match([1.0, 2.0], [1.0, 2.0, 3.0])
+        assert not outputs_match([1.0, 2.0], [1.0, 2.5])
+
+    def test_numpy_arrays_compared_elementwise(self):
+        numpy = pytest.importorskip("numpy")
+        assert outputs_match(numpy.array([0.1 + 0.2, 1.0]), numpy.array([0.3, 1.0]))
+        assert not outputs_match(numpy.array([1.0]), numpy.array([2.0]))
+
+    def test_recursion_stops_after_one_level(self):
+        # Per-agent outputs are at most one sequence deep; nested sequences
+        # with rounding noise deliberately do NOT match.
+        assert not outputs_match([[0.1 + 0.2]], [[0.3]])
+        assert outputs_match([[1.0]], [[1.0]])  # identical reprs still match

@@ -149,9 +149,34 @@ class TestBatchRunner:
             BatchJob(GossipAlgorithm(), g, inputs=[1, 2, 3, 4, 5], runner="rounds", rounds=4)
             for _ in range(3)
         ]
-        results = run_batch(jobs, plan_cache=cache)
+        # parallel=False: this asserts on the *shared* cache, which pool
+        # workers deliberately do not touch (they keep their own).
+        results = run_batch(jobs, plan_cache=cache, parallel=False)
         assert len(results) == 3
         assert cache.misses == 1  # one graph, one plan, twelve rounds
+
+    def test_detector_runners_need_round_budget(self):
+        # Regression: rounds=0 with a convergence detector used to be
+        # accepted silently and report non-convergence after zero rounds.
+        g = complete_graph(3)
+        with pytest.raises(ValueError, match="positive round budget"):
+            BatchJob(
+                GossipAlgorithm(),
+                g,
+                inputs=[1, 2, 3],
+                runner="stable",
+                target=frozenset({1, 2, 3}),
+            )
+        with pytest.raises(ValueError, match="positive round budget"):
+            BatchJob(
+                PushSumAlgorithm(),
+                g,
+                inputs=[1.0, 2.0, 3.0],
+                runner="asymptotic",
+                rounds=0,
+                tolerance=1e-6,
+                target=2.0,
+            )
 
     def test_stable_runner_reports(self):
         g = complete_graph(4)

@@ -1,0 +1,213 @@
+"""Tests for the process-parallel batch backend (engine layer 3).
+
+Covers the determinism contract (``parallel=True`` is bit-identical to
+the sequential runner on outputs, reports, and deterministic observer
+aggregates) and the robustness policy (crashed workers retried then
+recovered in-parent, timeouts recovered in-parent, failures surfaced on
+``BatchResult.worker_error``).
+"""
+
+import os
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.engine.parallel as parallel_mod
+from repro.core.agent import BroadcastAlgorithm
+from repro.core.engine import (
+    BatchJob,
+    ExecutionSnapshot,
+    MessageCountObserver,
+    StateDigestObserver,
+    parallel_enabled_by_env,
+    parallel_map,
+    run_batch,
+)
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.graphs.builders import complete_graph, directed_ring
+
+
+class PoisonInWorker(BroadcastAlgorithm):
+    """Healthy in the parent; kills its process inside a pool worker."""
+
+    def initial_state(self, input_value):
+        return input_value
+
+    def message(self, state):
+        if parallel_mod.in_worker():
+            os._exit(17)
+        return state
+
+    def transition(self, state, received):
+        return max([state] + list(received))
+
+    def output(self, state):
+        return state
+
+
+class SleepyInWorker(BroadcastAlgorithm):
+    """Instant in the parent; far slower than any job timeout in a worker."""
+
+    def initial_state(self, input_value):
+        return input_value
+
+    def message(self, state):
+        if parallel_mod.in_worker():
+            time.sleep(3.0)
+        return state
+
+    def transition(self, state, received):
+        return max([state] + list(received))
+
+    def output(self, state):
+        return state
+
+
+def _gossip_jobs(seeds):
+    ring = directed_ring(5)
+    complete = complete_graph(4)
+    jobs = []
+    for k, seed in enumerate(seeds):
+        if k % 2 == 0:
+            jobs.append(
+                BatchJob(
+                    GossipAlgorithm(),
+                    ring,
+                    inputs=[1, 2, 3, 4, 5],
+                    rounds=6,
+                    scramble_seed=seed,
+                    label=f"ring-{k}",
+                    observers=[MessageCountObserver(), StateDigestObserver()],
+                )
+            )
+        else:
+            jobs.append(
+                BatchJob(
+                    PushSumAlgorithm(),
+                    complete,
+                    inputs=[1.0, 2.0, 3.0, 4.0],
+                    runner="asymptotic",
+                    rounds=40,
+                    tolerance=1e-9,
+                    target=2.5,
+                    scramble_seed=seed,
+                    label=f"push-{k}",
+                )
+            )
+    return jobs
+
+
+class TestParallelDeterminism:
+    @settings(max_examples=5, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=2, max_size=6))
+    def test_parallel_bit_identical_to_sequential(self, seeds):
+        sequential_jobs = _gossip_jobs(seeds)
+        parallel_jobs = _gossip_jobs(seeds)
+        seq = run_batch(sequential_jobs, parallel=False)
+        par = run_batch(parallel_jobs, parallel=True, workers=3)
+        assert len(seq) == len(par) == len(seeds)
+        for s, p in zip(seq, par):
+            assert p.worker_error is None
+            assert repr(s.outputs) == repr(p.outputs)
+            assert s.outputs == p.outputs
+            assert repr(s.report) == repr(p.report)
+            assert isinstance(p.execution, ExecutionSnapshot)
+            assert p.execution.round_number == s.execution.round_number
+        for s_job, p_job in zip(sequential_jobs, parallel_jobs):
+            for s_obs, p_obs in zip(s_job.observers, p_job.observers):
+                if isinstance(s_obs, MessageCountObserver):
+                    assert s_obs.counts == p_obs.counts
+                if isinstance(s_obs, StateDigestObserver):
+                    assert s_obs.digests == p_obs.digests
+
+    def test_observer_state_round_trips_from_workers(self):
+        jobs = _gossip_jobs([7, 8, 9, 10])
+        run_batch(jobs, parallel=True, workers=2)
+        counter = jobs[0].observers[0]
+        assert isinstance(counter, MessageCountObserver)
+        assert len(counter.counts) == 6  # one record per round, recorded worker-side
+        assert all(count > 0 for count in counter.counts)
+
+    def test_parallel_map_matches_comprehension(self):
+        items = list(range(17))
+        assert parallel_map(lambda x: x * x + 1, items, workers=3) == [
+            x * x + 1 for x in items
+        ]
+
+    def test_single_job_collapses_to_sequential(self):
+        (result,) = run_batch(_gossip_jobs([5])[:1], parallel=True, workers=4)
+        # A one-job batch never pays for a pool: it runs in-process and
+        # keeps the live Execution instead of a snapshot.
+        assert not isinstance(result.execution, ExecutionSnapshot)
+        assert result.worker_error is None
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        assert parallel_enabled_by_env()
+        monkeypatch.delenv("REPRO_PARALLEL")
+        assert not parallel_enabled_by_env()
+
+
+class TestParallelRobustness:
+    def test_crashed_worker_recovered_in_parent(self):
+        ring = directed_ring(4)
+        jobs = [
+            BatchJob(GossipAlgorithm(), ring, inputs=[1, 2, 3, 4], rounds=4, label="ok-0"),
+            BatchJob(GossipAlgorithm(), ring, inputs=[4, 3, 2, 1], rounds=4, label="ok-1"),
+            BatchJob(PoisonInWorker(), ring, inputs=[1, 2, 3, 4], rounds=4, label="poison"),
+        ]
+        results = run_batch(jobs, parallel=True, workers=2, chunk_size=1, max_retries=1)
+        # Every job completes with correct outputs, because the poisoned
+        # chunk (and any innocent chunk its crash takes down with it) is
+        # re-run sequentially in the parent, where the algorithm behaves.
+        expected = run_batch(
+            [
+                BatchJob(GossipAlgorithm(), ring, inputs=[1, 2, 3, 4], rounds=4),
+                BatchJob(GossipAlgorithm(), ring, inputs=[4, 3, 2, 1], rounds=4),
+                BatchJob(PoisonInWorker(), ring, inputs=[1, 2, 3, 4], rounds=4),
+            ],
+            parallel=False,
+        )
+        for got, want in zip(results, expected):
+            assert got.outputs == want.outputs
+        assert results[2].worker_error is not None
+        assert "crash" in results[2].worker_error
+
+    def test_timeout_recovered_in_parent(self):
+        ring = directed_ring(3)
+        jobs = [
+            BatchJob(SleepyInWorker(), ring, inputs=[1, 2, 3], rounds=2, label="slow-0"),
+            BatchJob(SleepyInWorker(), ring, inputs=[3, 2, 1], rounds=2, label="slow-1"),
+        ]
+        start = time.perf_counter()
+        results = run_batch(
+            jobs, parallel=True, workers=2, chunk_size=1, job_timeout=0.25, max_retries=0
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 6.0  # far less than the 2 * rounds * 3s worker sleeps
+        for result in results:
+            assert result.worker_error is not None
+            assert "timeout" in result.worker_error
+        assert results[0].outputs == [3, 3, 3]
+        assert results[1].outputs == [3, 3, 3]
+
+    def test_rejects_bad_policy_arguments(self):
+        jobs = _gossip_jobs([1, 2])
+        with pytest.raises(ValueError, match="max_retries"):
+            run_batch(jobs, parallel=True, max_retries=-1)
+        with pytest.raises(ValueError, match="job_timeout"):
+            run_batch(jobs, parallel=True, job_timeout=0.0)
+
+    def test_parallel_map_propagates_task_errors(self):
+        def explode(x):
+            if x == 3:
+                raise RuntimeError("boom on 3")
+            return x
+
+        # The failed chunk falls back to the parent, where the exception
+        # propagates exactly as the plain list comprehension would.
+        with pytest.raises(RuntimeError, match="boom on 3"):
+            parallel_map(explode, list(range(6)), workers=2, chunk_size=1)
