@@ -5,6 +5,9 @@ Usage::
     python -m repro                 # both tables, default sizes
     python -m repro --table 1       # just Table 1
     python -m repro --n 8 --seed 3  # different network size / randomness
+    python -m repro --json          # machine-readable certificate (+ manifest)
+    python -m repro trace --n 8 --rounds 20 --out trace.jsonl
+                                    # round-level JSONL trace of one execution
 """
 
 from __future__ import annotations
@@ -16,13 +19,103 @@ import sys
 from repro.analysis.tables import format_results, reproduce_table1, reproduce_table2
 
 
+def trace_main(argv=None) -> int:
+    """``python -m repro trace`` — run one traced execution, emit JSONL.
+
+    The stream's first line is the run's provenance manifest; then one
+    ``round`` event per round and a final ``summary`` event with the
+    metrics-registry snapshot (:func:`repro.core.engine.trace.events_from_jsonl`
+    reads it all back).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one algorithm under the engine's structured tracing layer "
+            "and emit the round-level trace as JSON Lines (manifest first, "
+            "then one event per round, then a metrics summary)."
+        ),
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=["gossip", "push-sum"],
+        default="push-sum",
+        help="what to run: set-flooding gossip or average-computing Push-Sum",
+    )
+    parser.add_argument("--n", type=int, default=8, help="network size")
+    parser.add_argument("--seed", type=int, default=0, help="random-graph seed")
+    parser.add_argument("--rounds", type=int, default=20, help="rounds to trace")
+    parser.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="run on a seeded random dynamic network instead of a static one",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the JSONL stream to this path (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.algorithms import GossipAlgorithm, PushSumAlgorithm
+    from repro.analysis.provenance import (
+        Manifest,
+        current_backend,
+        network_fingerprint,
+    )
+    from repro.core.engine.trace import trace_execution, write_jsonl
+    from repro.core.execution import Execution
+
+    if args.dynamic:
+        from repro.dynamics.generators import random_dynamic_strongly_connected
+
+        network = random_dynamic_strongly_connected(args.n, seed=args.seed)
+    else:
+        from repro.graphs.builders import random_strongly_connected
+
+        network = random_strongly_connected(args.n, seed=args.seed)
+
+    if args.algorithm == "gossip":
+        algorithm = GossipAlgorithm(max)
+        inputs = [(v * 7919 + args.seed) % 101 for v in range(args.n)]
+    else:
+        algorithm = PushSumAlgorithm()
+        inputs = [float(v + 1) for v in range(args.n)]
+
+    execution = Execution(algorithm, network, inputs=inputs)
+    tracer = trace_execution(execution, rounds=args.rounds)
+
+    manifest = Manifest(
+        kind="trace",
+        seed=args.seed,
+        n=args.n,
+        rounds=args.rounds,
+        graph_hash=network_fingerprint(network),
+        backend=current_backend(),
+        extra={"algorithm": args.algorithm, "dynamic": args.dynamic},
+    )
+    events = list(tracer.events) + [tracer.summary_event()]
+    if args.out:
+        write_jsonl(args.out, events, manifest=manifest.to_dict())
+        print(f"wrote {len(events) + 1} JSONL lines to {args.out}")
+    else:
+        write_jsonl(sys.stdout, events, manifest=manifest.to_dict())
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
             "Reproduce Tables 1 and 2 of 'Know your audience' "
             "(Charron-Bost & Lambein-Monette, PODC 2024) by running the "
-            "paper's algorithms and impossibility certificates."
+            "paper's algorithms and impossibility certificates.  The "
+            "'trace' subcommand instead emits a round-level JSONL trace "
+            "of one execution."
         ),
     )
     parser.add_argument("--table", choices=["1", "2", "both"], default="both")
@@ -49,7 +142,12 @@ def main(argv=None) -> int:
     if args.json:
         from repro.analysis.certificate import reproduction_certificate
 
-        doc = reproduction_certificate(n=args.n, seed=args.seed)
+        doc = reproduction_certificate(
+            n=args.n,
+            seed=args.seed,
+            parallel=True if args.parallel else None,
+            workers=args.workers,
+        )
         print(json.dumps(doc, indent=2))
         return 0 if doc["summary"]["verdict"] == "PASS" else 1
 

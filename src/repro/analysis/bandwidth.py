@@ -16,7 +16,7 @@ sharing (each interned node transmitted once).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.core.agent import BroadcastAlgorithm, OutdegreeAlgorithm, OutputPortAlgorithm
 from repro.core.execution import Execution
@@ -111,6 +111,29 @@ def bandwidth_curve(execution: Execution, rounds: int) -> List[int]:
     finally:
         execution.detach(observer)
     return observer.curve
+
+
+def traced_bytes_curve(execution: Execution, rounds: int) -> List[Tuple[int, int]]:
+    """Per-round ``(bytes_delivered, bytes_peak)`` while running ``execution``.
+
+    Rides the engine's :class:`~repro.core.engine.trace.Tracer`, whose
+    byte accounting is :func:`payload_units` applied to every *delivered*
+    message — the property suite pins this curve to the independent
+    observer-side accounting of :func:`bandwidth_curve`/:class:`BandwidthObserver`,
+    so the two code paths cannot drift apart silently.
+    """
+    from repro.core.engine.trace import Tracer
+
+    tracer = Tracer(residuals=False)
+    execution.attach(tracer)
+    try:
+        execution.run(rounds)
+    finally:
+        execution.detach(tracer)
+    return [
+        (e.fields["bytes_delivered"], e.fields["bytes_peak"])
+        for e in tracer.round_events()
+    ]
 
 
 def _bandwidth_task(spec) -> List[int]:

@@ -229,6 +229,8 @@ def frequency_counterexample(
     fv, fw = f(v), f(w)
     if outputs_match(fv, fw):
         return None
+    from repro.analysis.provenance import Manifest
+
     return {
         "base_values": list(base_values),
         "v": v,
@@ -237,4 +239,34 @@ def frequency_counterexample(
         "f(w)": fw,
         "n": p * reps_v,
         "m": p * reps_w,
+        "manifest": Manifest(
+            kind="impossibility",
+            n=p * reps_v,
+            extra={"m": p * reps_w, "p": p},
+        ).to_dict(),
     }
+
+
+def verify_counterexample(cert: dict) -> List[str]:
+    """Re-verify a :func:`frequency_counterexample` certificate; returns
+    the list of problems (empty = the certificate is sound).
+
+    The check is independent of how the certificate was produced — and
+    deliberately goes through the tolerance-aware :func:`outputs_match`,
+    so a certificate whose recorded values differ only by float rounding
+    (summation-order noise) is *rejected*, mirroring the emission path.
+    """
+    problems: List[str] = []
+    v, w = cert.get("v"), cert.get("w")
+    if not v or not w:
+        return ["certificate has no input vectors"]
+    if frequencies_of(v) != frequencies_of(w):
+        problems.append("v and w are not equivalent in frequency")
+    if outputs_match(cert.get("f(v)"), cert.get("f(w)")):
+        problems.append("recorded f(v) and f(w) agree up to tolerance — no counterexample")
+    if cert.get("n") != len(v) or cert.get("m") != len(w):
+        problems.append("recorded ring sizes do not match the vectors")
+    manifest = cert.get("manifest")
+    if not manifest or manifest.get("kind") != "impossibility":
+        problems.append("certificate carries no impossibility manifest")
+    return problems

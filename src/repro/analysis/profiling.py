@@ -1,0 +1,91 @@
+"""Wall-clock profiling over the engine's trace layer.
+
+Where :mod:`repro.core.engine.trace` answers *what happened* (messages,
+bytes, residuals, digests), this module answers *where the time went*:
+named spans around plan compilation, stepping, and whole batches, folded
+into the same :class:`~repro.core.engine.trace.MetricsRegistry` the
+tracer uses.  All wall-clock metrics follow the ``*_seconds`` naming
+convention, so they are automatically excluded from every deterministic
+identity comparison.
+
+The main entry point is :func:`profile_batch`, a drop-in wrapper around
+:func:`repro.core.engine.batch.run_batch` that gives every job a tracer,
+times the batch end to end, and returns the merged job-order metrics —
+worker-side aggregates included, since the parallel backend ships
+tracer recordings back exactly like any other observer state.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.engine.batch import BatchResult, run_batch
+from repro.core.engine.trace import (
+    MetricsRegistry,
+    Tracer,
+    attach_tracers,
+    merged_metrics,
+)
+
+
+class Profiler:
+    """Named wall-clock spans recorded into a metrics registry.
+
+    Each ``span(name)`` observation lands in the histogram
+    ``span_seconds.<name>`` (count / total / min / max), so repeated
+    spans aggregate instead of accumulating events.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @contextmanager
+    def span(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.registry.histogram(f"span_seconds.{name}").observe(
+                time.perf_counter() - started
+            )
+
+    def time_call(self, name: str, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn(*args, **kwargs)`` inside a span; returns its result."""
+        with self.span(name):
+            return fn(*args, **kwargs)
+
+
+def profile_batch(
+    jobs: Sequence[Any],
+    profiler: Optional[Profiler] = None,
+    **run_batch_kwargs: Any,
+) -> Tuple[List[BatchResult], MetricsRegistry]:
+    """Run a batch with every job traced; returns ``(results, metrics)``.
+
+    Each job gets its own :class:`Tracer` (existing observers are kept);
+    the whole ``run_batch`` call is wrapped in a ``run_batch`` span, and
+    the returned registry is the deterministic job-order merge of every
+    job's metrics plus the batch-level spans.  Accepts all
+    :func:`~repro.core.engine.batch.run_batch` keyword arguments,
+    ``parallel=True`` included — worker-side tracer aggregates come back
+    through the snapshot machinery and merge identically.
+    """
+    profiler = profiler if profiler is not None else Profiler()
+    jobs = list(jobs)
+    fresh = [job for job in jobs if not any(isinstance(o, Tracer) for o in job.observers)]
+    attach_tracers(fresh)
+    with profiler.span("run_batch"):
+        results = run_batch(jobs, **run_batch_kwargs)
+    metrics = merged_metrics(results)
+    metrics.merge(profiler.registry)
+    metrics.gauge("jobs").set(len(jobs))
+    return results, metrics
+
+
+def profile_report(metrics: MetricsRegistry, title: str = "profile") -> str:
+    """Render a registry as the repo's boxed plain-text table."""
+    from repro.analysis.reporting import metrics_table
+
+    return metrics_table(metrics, title=title)

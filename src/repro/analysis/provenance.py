@@ -1,0 +1,108 @@
+"""Provenance manifests: what produced this number, exactly?
+
+Every regenerated artifact — a Table 1/2 cell, a reproduction
+certificate, a rate-sweep check, an impossibility counterexample, a
+JSONL trace — carries a :class:`Manifest` recording the seed, the
+network's content fingerprint, the communication model and help level,
+the engine generation, and (for whole documents) the sequential/parallel
+backend that drove it.  A result without its manifest is an assertion; a
+result with one is auditable: rerun the manifest's parameters and you
+must land on the same bits.
+
+Cell- and sweep-level manifests deliberately contain **only
+deterministic fields** (no backend, no wall-clock): the parallel
+backend's bit-identity contract extends to them, so a cell regenerated
+in a pool worker carries the same manifest as its sequential twin.  The
+backend and worker count are recorded once, on the enclosing document's
+manifest, where sequential/parallel runs legitimately differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.engine import ENGINE_VERSION
+from repro.core.metrics import canonical_repr
+from repro.graphs.digraph import DiGraph
+
+
+def graph_fingerprint(graph: DiGraph) -> str:
+    """A content hash of a :class:`DiGraph` — stable across processes.
+
+    Hashes the vertex count, the sorted edge multiset (source, target,
+    color) and the canonicalized vertex values; 16 hex chars of SHA-256.
+    Isomorphic-but-relabelled graphs hash differently on purpose: the
+    manifest pins the *exact* network an experiment ran on.
+    """
+    edges = sorted(
+        (e.source, e.target, canonical_repr(e.color)) for e in graph.edges
+    )
+    payload = "\x1f".join(
+        [str(graph.n)]
+        + [f"{s}>{t}#{c}" for s, t, c in edges]
+        + [canonical_repr(graph.values)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def network_fingerprint(network: Any, rounds: int = 6) -> str:
+    """A content hash for a static or dynamic network.
+
+    A :class:`DiGraph` hashes directly; a dynamic graph hashes the
+    fingerprints of its first ``rounds`` round graphs (deterministic
+    generators make this a faithful identity for seeded networks).
+    """
+    if isinstance(network, DiGraph):
+        return graph_fingerprint(network)
+    parts = [type(network).__name__, str(network.n)]
+    for t in range(1, rounds + 1):
+        parts.append(graph_fingerprint(network.graph_at(t)))
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def current_backend() -> str:
+    """``"parallel"`` when this code runs in (or defaults to) the
+    process-parallel backend, else ``"sequential"``."""
+    from repro.core.engine.batch import parallel_enabled_by_env
+    from repro.core.engine.parallel import in_worker
+
+    return "parallel" if (in_worker() or parallel_enabled_by_env()) else "sequential"
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The provenance record attached to a regenerated artifact.
+
+    ``kind`` names the artifact (``table1-cell``, ``table2-cell``,
+    ``certificate``, ``rate-sweep``, ``impossibility``, ``trace``);
+    ``graph_hash`` is a :func:`graph_fingerprint`/:func:`network_fingerprint`;
+    ``backend`` is only set on document-level manifests (see the module
+    docstring); anything artifact-specific rides in ``extra``.
+    """
+
+    kind: str
+    engine_version: str = ENGINE_VERSION
+    seed: Optional[int] = None
+    n: Optional[int] = None
+    rounds: Optional[int] = None
+    graph_hash: Optional[str] = None
+    model: Optional[str] = None
+    knowledge: Optional[str] = None
+    backend: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Manifest":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py39-safe
+        kwargs = {k: v for k, v in d.items() if k in known}
+        unknown = {k: v for k, v in d.items() if k not in known}
+        if unknown:
+            extra = dict(kwargs.get("extra") or {})
+            extra.update(unknown)
+            kwargs["extra"] = extra
+        return cls(**kwargs)

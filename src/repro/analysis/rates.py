@@ -150,6 +150,9 @@ class ProofCheck:
     seed: int
     rounds: int
     problems: List[str]
+    #: Provenance of the checked execution (network fingerprint, engine
+    #: generation) — deterministic fields only, identical across backends.
+    manifest: object = None
 
     @property
     def ok(self) -> bool:
@@ -158,12 +161,21 @@ class ProofCheck:
 
 def _proof_check_task(spec) -> ProofCheck:
     n, d, seed, rounds = spec
+    from repro.analysis.provenance import Manifest, network_fingerprint
     from repro.dynamics.generators import random_dynamic_strongly_connected
 
     dg = random_dynamic_strongly_connected(n, seed=seed)
     values = [float(v + 1) for v in range(n)]
     trace = trace_push_sum(dg, values, rounds=rounds)
-    return ProofCheck(n, d, seed, rounds, verify_proof_invariants(trace, d=d, n=n))
+    manifest = Manifest(
+        kind="rate-sweep",
+        seed=seed,
+        n=n,
+        rounds=rounds,
+        graph_hash=network_fingerprint(dg),
+        extra={"d": d},
+    )
+    return ProofCheck(n, d, seed, rounds, verify_proof_invariants(trace, d=d, n=n), manifest)
 
 
 def sweep_proof_invariants(specs, parallel: bool = False, workers=None) -> List[ProofCheck]:

@@ -45,6 +45,32 @@ def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     return buffer.getvalue()
 
 
+def metrics_table(registry, title: str = "metrics") -> str:
+    """A :class:`~repro.core.engine.trace.MetricsRegistry` as a boxed table.
+
+    Counters and gauges render their value; histograms render
+    count / mean / min / max.  Rows come out name-sorted, so the same
+    registry always renders the same text.
+    """
+
+    def _num(x):
+        if isinstance(x, float):
+            return f"{x:.6g}"
+        return "" if x is None else str(x)
+
+    rows = []
+    for name, payload in registry.as_dict().items():
+        if payload["type"] == "histogram":
+            detail = (
+                f"count={payload['count']} mean={_num(payload['mean'])} "
+                f"min={_num(payload['min'])} max={_num(payload['max'])}"
+            )
+        else:
+            detail = _num(payload["value"])
+        rows.append([name, payload["type"], detail])
+    return render_table(["metric", "type", "value"], rows, title=title)
+
+
 def trace_csv(report, series_name: str = "value") -> str:
     """A :class:`~repro.core.convergence.ConvergenceReport` trace as CSV.
 

@@ -34,6 +34,7 @@ from repro.analysis.impossibility import (
     two_fibre_cover,
     verify_lifting_on_outputs,
 )
+from repro.analysis.provenance import Manifest, network_fingerprint
 from repro.analysis.reporting import render_table
 from repro.core.computability import (
     CellCharacterization,
@@ -65,6 +66,11 @@ class CellResult:
     measured: Optional[FunctionClass]
     consistent: bool
     details: List[str] = field(default_factory=list)
+    #: Provenance of the cell's probes (seed, network fingerprint, model,
+    #: help level, engine generation) — deterministic fields only, so a
+    #: cell regenerated in a pool worker carries the same manifest as its
+    #: sequential twin.
+    manifest: Optional[Manifest] = None
 
     def label(self) -> str:
         if self.measured is None:
@@ -153,6 +159,27 @@ def _broadcast_refutation(f: Callable, knowledge: Knowledge, rounds: int = 24) -
     return ok1 and ok2
 
 
+def _cell_manifest(
+    dynamic: bool,
+    model: CommunicationModel,
+    knowledge: Knowledge,
+    network,
+    n: int,
+    seed: int,
+    rounds: int,
+) -> Manifest:
+    """The provenance record for one table cell's probes."""
+    return Manifest(
+        kind="table2-cell" if dynamic else "table1-cell",
+        seed=seed,
+        n=n,
+        rounds=rounds,
+        graph_hash=network_fingerprint(network),
+        model=model.value,
+        knowledge=knowledge.value,
+    )
+
+
 def _sum_refutation(model: CommunicationModel, rounds: int = 24) -> bool:
     """§4.1 ring collapse: the sum differs across ``R_4`` and ``R_8`` with
     frequency-equal inputs, while outputs are forced equal."""
@@ -187,6 +214,7 @@ def run_static_cell(
     leader = knowledge is Knowledge.LEADER
     run_inputs = _with_leader(inputs) if leader else inputs
     graph = _static_graph(model, n, seed)
+    manifest = _cell_manifest(False, model, knowledge, graph, n, seed, _STATIC_ROUNDS)
 
     if model is CommunicationModel.SIMPLE_BROADCAST:
         got_max = _run_exact(
@@ -203,7 +231,10 @@ def run_static_cell(
             "average refuted by shared-base covers" if refuted_freq else "average refutation FAILED"
         )
         measured = FunctionClass.SET_BASED if (got_max and refuted_freq) else None
-        return CellResult(model, knowledge, False, expected, measured, measured is expected.function_class, details)
+        return CellResult(
+            model, knowledge, False, expected, measured,
+            measured is expected.function_class, details, manifest,
+        )
 
     # Enriched models: the static pipeline, probes batched on one cache.
     def alg(f):
@@ -239,7 +270,8 @@ def run_static_cell(
             FunctionClass.FREQUENCY_BASED if (got_max and got_avg and refuted_sum) else None
         )
     return CellResult(
-        model, knowledge, False, expected, measured, measured is expected.function_class, details
+        model, knowledge, False, expected, measured,
+        measured is expected.function_class, details, manifest,
     )
 
 
@@ -279,7 +311,11 @@ def run_dynamic_cell(
             if refuted_freq else "average refutation FAILED"
         )
         measured = FunctionClass.SET_BASED if (got_max and refuted_freq) else None
-        return CellResult(model, knowledge, True, expected, measured, measured is expected.function_class, details)
+        manifest = _cell_manifest(True, model, knowledge, dyn, n, seed, _STATIC_ROUNDS)
+        return CellResult(
+            model, knowledge, True, expected, measured,
+            measured is expected.function_class, details, manifest,
+        )
 
     if model is CommunicationModel.OUTDEGREE_AWARE and knowledge is Knowledge.NONE:
         # Open cell: demonstrate the Corollary 5.5 lower bound — set-based
@@ -317,7 +353,11 @@ def run_dynamic_cell(
             if (got_max and avg_report.converged and refuted_sum)
             else None
         )
-        return CellResult(model, knowledge, True, expected, measured, measured is not None, details)
+        manifest = _cell_manifest(True, model, knowledge, dyn, n, seed, _DYNAMIC_ROUNDS)
+        return CellResult(
+            model, knowledge, True, expected, measured, measured is not None,
+            details, manifest,
+        )
 
     if model is CommunicationModel.OUTDEGREE_AWARE:
         dyn = random_dynamic_strongly_connected(n, seed=seed)
@@ -382,7 +422,8 @@ def run_dynamic_cell(
         details.append("paper leaves this cell open; measurement is a lower bound")
     else:
         consistent = measured is expected.function_class
-    return CellResult(model, knowledge, True, expected, measured, consistent, details)
+    manifest = _cell_manifest(True, model, knowledge, dyn, n, seed, rounds)
+    return CellResult(model, knowledge, True, expected, measured, consistent, details, manifest)
 
 
 # ---------------------------------------------------------------------- #

@@ -20,13 +20,24 @@ from repro.core.agent import (
 )
 from repro.core.execution import Execution
 from repro.core.engine import (
+    ENGINE_VERSION,
     BatchJob,
     BatchResult,
     ExecutionSnapshot,
+    MetricsRegistry,
     PlanCache,
+    TraceEvent,
+    Tracer,
+    attach_tracers,
+    events_from_jsonl,
+    events_to_jsonl,
+    merged_metrics,
     parallel_map,
+    read_jsonl,
     run_batch,
     run_batch_parallel,
+    trace_execution,
+    write_jsonl,
 )
 from repro.core.metrics import canonical_repr, discrete_metric, euclidean_metric
 from repro.core.convergence import (
@@ -43,6 +54,7 @@ from repro.core.computability import (
 )
 
 __all__ = [
+    "ENGINE_VERSION",
     "Algorithm",
     "BatchJob",
     "BatchResult",
@@ -53,19 +65,29 @@ __all__ = [
     "Execution",
     "ExecutionSnapshot",
     "Knowledge",
+    "MetricsRegistry",
     "NetworkClassSpec",
     "OutdegreeAlgorithm",
     "OutputPortAlgorithm",
     "PlanCache",
+    "TraceEvent",
+    "Tracer",
+    "attach_tracers",
     "canonical_repr",
     "computable_class",
     "discrete_metric",
     "euclidean_metric",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "merged_metrics",
     "parallel_map",
+    "read_jsonl",
     "run_batch",
     "run_batch_parallel",
     "run_until_asymptotic",
     "run_until_stable",
+    "trace_execution",
     "table1",
     "table2",
+    "write_jsonl",
 ]

@@ -105,7 +105,14 @@ class BatchResult:
 
 
 def _execute_job(job: BatchJob, cache: PlanCache) -> BatchResult:
-    """Run one job to completion on the given plan cache."""
+    """Run one job to completion on the given plan cache.
+
+    Observers that also speak the plan-cache tracing protocol (an
+    ``on_plan_event`` method, i.e. :class:`repro.core.engine.trace.Tracer`)
+    are hooked into the cache for exactly this job's duration — the
+    previous hook is restored afterwards, so tracers on a shared
+    sequential cache never see each other's compiles.
+    """
     # Imported here: the execution façade sits on top of this package.
     from repro.core.convergence import run_until_asymptotic, run_until_stable
     from repro.core.execution import Execution
@@ -120,25 +127,43 @@ def _execute_job(job: BatchJob, cache: PlanCache) -> BatchResult:
         check_model=job.check_model,
     )
     execution.share_plan_cache(cache)
+    plan_hooks = []
     for observer in job.observers:
         execution.attach(observer)
-    if job.runner == "stable":
-        report = run_until_stable(
-            execution, job.rounds, patience=job.patience, target=job.target
-        )
-        return BatchResult(job, execution, report)
-    if job.runner == "asymptotic":
-        report = run_until_asymptotic(
-            execution,
-            job.rounds,
-            tolerance=job.tolerance,
-            target=job.target,
-            metric=job.metric or euclidean_metric,
-            output_filter=job.output_filter,
-        )
-        return BatchResult(job, execution, report)
-    execution.run(job.rounds)
-    return BatchResult(job, execution)
+        hook = getattr(observer, "on_plan_event", None)
+        if hook is not None:
+            plan_hooks.append(hook)
+    previous_hook = cache.trace_hook
+    if plan_hooks:
+        if len(plan_hooks) == 1:
+            cache.trace_hook = plan_hooks[0]
+        else:
+            def cache_hook(kind, plan, seconds):
+                for h in plan_hooks:
+                    h(kind, plan, seconds)
+
+            cache.trace_hook = cache_hook
+    try:
+        if job.runner == "stable":
+            report = run_until_stable(
+                execution, job.rounds, patience=job.patience, target=job.target
+            )
+            return BatchResult(job, execution, report)
+        if job.runner == "asymptotic":
+            report = run_until_asymptotic(
+                execution,
+                job.rounds,
+                tolerance=job.tolerance,
+                target=job.target,
+                metric=job.metric or euclidean_metric,
+                output_filter=job.output_filter,
+            )
+            return BatchResult(job, execution, report)
+        execution.run(job.rounds)
+        return BatchResult(job, execution)
+    finally:
+        if plan_hooks:
+            cache.trace_hook = previous_hook
 
 
 def parallel_enabled_by_env() -> bool:

@@ -25,6 +25,7 @@ fresh ``DiGraph`` per round needs.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -101,18 +102,31 @@ class PlanCache:
         self._plans: "OrderedDict[Tuple[int, int], DeliveryPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Optional tracing callback ``hook(kind, plan, seconds)`` with
+        #: ``kind`` in {"plan_hit", "plan_compile"} — see
+        #: :meth:`repro.core.engine.trace.Tracer.on_plan_event`.  ``None``
+        #: (the default) keeps the lookup path down to one attribute test.
+        self.trace_hook = None
 
     def plan_for(self, graph: DiGraph, epoch: int = 0) -> DeliveryPlan:
         """The compiled plan for ``graph``, compiling on first sight."""
         key = (id(graph), epoch)
         plans = self._plans
+        hook = self.trace_hook
         plan = plans.get(key)
         if plan is not None:
             self.hits += 1
             plans.move_to_end(key)
+            if hook is not None:
+                hook("plan_hit", plan, 0.0)
             return plan
         self.misses += 1
-        plan = DeliveryPlan(graph)
+        if hook is None:
+            plan = DeliveryPlan(graph)
+        else:
+            started = time.perf_counter()
+            plan = DeliveryPlan(graph)
+            hook("plan_compile", plan, time.perf_counter() - started)
         plans[key] = plan
         if len(plans) > self.maxsize:
             plans.popitem(last=False)

@@ -27,6 +27,42 @@ class TestRenderTable:
         assert "42" in out and "None" in out
 
 
+class TestMetricsTable:
+    def _registry(self):
+        from repro.core.engine.trace import MetricsRegistry
+
+        r = MetricsRegistry()
+        r.counter("rounds").inc(12)
+        r.gauge("residual").set(0.25)
+        r.histogram("round_wall_seconds").observe(0.5)
+        r.histogram("round_wall_seconds").observe(1.5)
+        return r
+
+    def test_renders_all_metric_kinds(self):
+        from repro.analysis.reporting import metrics_table
+
+        out = metrics_table(self._registry(), title="run metrics")
+        lines = out.splitlines()
+        assert lines[0] == "run metrics"
+        assert "rounds" in out and "counter" in out and "12" in out
+        assert "residual" in out and "gauge" in out and "0.25" in out
+        assert "count=2 mean=1 min=0.5 max=1.5" in out
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned box
+
+    def test_rows_are_name_sorted(self):
+        from repro.analysis.reporting import metrics_table
+
+        out = metrics_table(self._registry())
+        assert out.index("residual") < out.index("round_wall_seconds") < out.index("rounds")
+
+    def test_empty_registry(self):
+        from repro.analysis.reporting import metrics_table
+        from repro.core.engine.trace import MetricsRegistry
+
+        out = metrics_table(MetricsRegistry())
+        assert "metric" in out  # headers render even with no rows
+
+
 class TestCsvExport:
     def test_to_csv(self):
         from repro.analysis.reporting import to_csv

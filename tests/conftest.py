@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -11,7 +12,13 @@ from hypothesis import settings
 # only produce flaky failures under load.  Examples stay bounded by each
 # test's max_examples instead.
 settings.register_profile("repro", deadline=None)
-settings.load_profile("repro")
+# CI runs want reproducible example sequences: a red build must replay
+# identically on a developer machine, so the shared CI profile also
+# derandomizes hypothesis' example search.
+settings.register_profile("repro-ci", deadline=None, derandomize=True)
+settings.load_profile(
+    "repro-ci" if os.environ.get("CI") or os.environ.get("REPRO_PARALLEL") else "repro"
+)
 
 from repro.graphs.builders import (
     bidirectional_ring,

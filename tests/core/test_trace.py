@@ -1,0 +1,298 @@
+"""Unit tests for the structured tracing layer.
+
+Covers the metrics registry's semantics (typed create-on-touch, merge
+algebra, the deterministic projection), the tracer's event stream
+against the independent single-purpose observers, the plan-cache hook's
+save/restore discipline in the batch runner, and lossless JSONL
+round-trips.
+"""
+
+import io
+
+import pytest
+
+from repro.algorithms.gossip import GossipAlgorithm
+from repro.algorithms.push_sum import PushSumAlgorithm
+from repro.core.engine.batch import BatchJob, run_batch
+from repro.core.engine.instrumentation import (
+    BandwidthObserver,
+    MessageCountObserver,
+    StateDigestObserver,
+)
+from repro.core.engine.plan import PlanCache
+from repro.core.engine.trace import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    attach_tracers,
+    events_from_jsonl,
+    events_to_jsonl,
+    merged_metrics,
+    read_jsonl,
+    trace_execution,
+    write_jsonl,
+)
+from repro.core.execution import Execution
+from repro.graphs.builders import bidirectional_ring, random_strongly_connected
+
+
+def traced_run(n=6, rounds=8, seed=1, algorithm=None, inputs=None):
+    algorithm = algorithm if algorithm is not None else PushSumAlgorithm()
+    inputs = inputs if inputs is not None else [float(v + 1) for v in range(n)]
+    execution = Execution(algorithm, random_strongly_connected(n, seed=seed), inputs=inputs)
+    tracer = trace_execution(execution, rounds=rounds)
+    return execution, tracer
+
+
+class TestMetricsPrimitives:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        assert g.value is None and g.updates == 0
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5 and g.updates == 2
+
+    def test_gauge_merge_skips_never_written(self):
+        a, b = Gauge(), Gauge()
+        a.set(7)
+        a.merge(b)  # b never wrote: a keeps its value
+        assert a.value == 7
+        b.set(9)
+        a.merge(b)
+        assert a.value == 9 and a.updates == 2
+
+    def test_histogram_moments(self):
+        h = Histogram()
+        assert h.mean is None
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert (h.count, h.total, h.min, h.max, h.mean) == (3, 6.0, 1.0, 3.0, 2.0)
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(5.0)
+        b.observe(3.0)
+        a.merge(b)
+        assert (a.count, a.min, a.max) == (3, 1.0, 5.0)
+        a.merge(Histogram())  # empty merge is a no-op
+        assert a.count == 3
+
+
+class TestMetricsRegistry:
+    def test_create_on_touch_and_type_guard(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        assert "x" in r and len(r) == 1
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_merge_is_job_order_fold(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        a.gauge("last").set("from-a")
+        b.counter("n").inc(3)
+        b.gauge("last").set("from-b")
+        b.histogram("h").observe(1.0)
+        a.merge(b)
+        snap = a.as_dict()
+        assert snap["n"]["value"] == 5
+        assert snap["last"]["value"] == "from-b"  # later job wins
+        assert snap["h"]["count"] == 1
+
+    def test_deterministic_projection_drops_wall_clock(self):
+        r = MetricsRegistry()
+        r.counter("rounds").inc()
+        r.histogram("round_wall_seconds").observe(0.1)
+        assert set(r.as_dict()) == {"rounds", "round_wall_seconds"}
+        assert set(r.as_dict(deterministic_only=True)) == {"rounds"}
+
+    def test_dict_round_trip(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(4)
+        r.gauge("g").set(0.5)
+        r.histogram("h").observe(2.0)
+        again = MetricsRegistry.from_dict(r.as_dict())
+        assert again.as_dict() == r.as_dict()
+
+
+class TestTraceEvent:
+    def test_dict_round_trip_and_equality(self):
+        e = TraceEvent("round", round=3, messages=10, wall_seconds=0.01)
+        again = TraceEvent.from_dict(e.to_dict())
+        assert again == e
+        assert again != TraceEvent("round", round=4, messages=10, wall_seconds=0.01)
+
+    def test_deterministic_fields_excludes_seconds(self):
+        e = TraceEvent("round", round=1, messages=2, wall_seconds=0.5)
+        assert e.deterministic_fields() == {"messages": 2}
+
+
+class TestTracer:
+    def test_round_stream_matches_dedicated_observers(self):
+        """The tracer's per-round fields must agree with the independent
+        single-purpose observers watching the same execution."""
+        n, rounds = 6, 8
+        counts, digests = MessageCountObserver(), StateDigestObserver()
+        execution = Execution(
+            PushSumAlgorithm(),
+            random_strongly_connected(n, seed=1),
+            inputs=[float(v + 1) for v in range(n)],
+        )
+        execution.attach(counts)
+        execution.attach(digests)
+        tracer = trace_execution(execution, rounds=rounds)
+
+        events = tracer.round_events()
+        assert [e.round for e in events] == list(range(1, rounds + 1))
+        assert [e.fields["messages"] for e in events] == counts.counts
+        assert [e.fields["digest"] for e in events] == digests.digests
+        assert tracer.registry.counter("rounds").value == rounds
+        assert tracer.registry.counter("messages_delivered").value == counts.total
+
+    def test_residual_shrinks_for_push_sum(self):
+        _, tracer = traced_run(rounds=30)
+        residuals = [e.fields["residual"] for e in tracer.round_events()]
+        assert residuals[-1] < residuals[0]
+        assert tracer.registry.gauge("residual").value == residuals[-1]
+
+    def test_residual_falls_back_to_discrete_metric(self):
+        # Set-flooding gossip on string inputs outputs frozensets of
+        # strings — not numeric vectors — so the residual must come from
+        # the discrete metric (1 until consensus, then 0).
+        _, tracer = traced_run(
+            rounds=10, algorithm=GossipAlgorithm(), inputs=list("abcdef")
+        )
+        residuals = [e.fields["residual"] for e in tracer.round_events()]
+        assert set(residuals) <= {0.0, 1.0}
+        assert residuals[-1] == 0.0  # consensus reached on n=6 within 10 rounds
+
+    def test_plan_cache_hook_counts_hits_and_compiles(self):
+        _, tracer = traced_run(rounds=8)
+        reg = tracer.registry
+        assert reg.counter("plan_compiles").value == 1  # static graph: one plan
+        assert reg.counter("plan_hits").value == 7
+        compile_events = [e for e in tracer.events if e.kind == "plan_compile"]
+        assert len(compile_events) == 1
+        assert compile_events[0].fields["n"] == 6
+
+    def test_capture_events_off_keeps_metrics(self):
+        execution = Execution(
+            PushSumAlgorithm(), bidirectional_ring(4), inputs=[1.0, 2.0, 3.0, 4.0]
+        )
+        tracer = trace_execution(execution, rounds=5, tracer=Tracer(capture_events=False))
+        assert tracer.events == []
+        assert tracer.registry.counter("rounds").value == 5
+
+    def test_watch_cache_returns_previous_hook(self):
+        cache = PlanCache()
+        sentinel = lambda *a: None  # noqa: E731
+        cache.trace_hook = sentinel
+        tracer = Tracer()
+        assert tracer.watch_cache(cache) is sentinel
+        assert cache.trace_hook == tracer.on_plan_event
+
+    def test_deterministic_rounds_projection(self):
+        _, tracer = traced_run(rounds=4)
+        rows = tracer.deterministic_rounds()
+        assert len(rows) == 4
+        for row, event in zip(rows, tracer.round_events()):
+            assert row[0] == event.round
+            assert "wall" not in repr(row)  # no timing leaks into identity data
+
+
+class TestBatchIntegration:
+    def _jobs(self, count=3):
+        return [
+            BatchJob(
+                GossipAlgorithm(max),
+                random_strongly_connected(5, seed=s),
+                inputs=list(range(5)),
+                rounds=6,
+                label=f"job-{s}",
+            )
+            for s in range(count)
+        ]
+
+    def test_attach_tracers_one_per_job(self):
+        jobs = self._jobs()
+        tracers = attach_tracers(jobs)
+        assert len(tracers) == len(jobs)
+        for job, tracer in zip(jobs, tracers):
+            assert tracer in job.observers
+
+    def test_shared_cache_hook_isolated_per_job(self):
+        """On a shared sequential cache each job's tracer must see only its
+        own compiles, and the pre-existing hook must be restored."""
+        jobs = self._jobs()
+        tracers = attach_tracers(jobs)
+        cache = PlanCache()
+        outer = []
+        cache.trace_hook = lambda kind, plan, s: outer.append(kind)
+        run_batch(jobs, plan_cache=cache)
+        # Each job ran 6 rounds on its own static graph: 1 compile, 5 hits.
+        for tracer in tracers:
+            assert tracer.registry.counter("plan_compiles").value == 1
+            assert tracer.registry.counter("plan_hits").value == 5
+        assert cache.trace_hook is not None and not outer  # restored, unused
+
+    def test_merged_metrics_accepts_results_and_tracers(self):
+        jobs = self._jobs()
+        tracers = attach_tracers(jobs)
+        results = run_batch(jobs)
+        from_results = merged_metrics(results).as_dict(deterministic_only=True)
+        from_tracers = merged_metrics(tracers).as_dict(deterministic_only=True)
+        assert from_results == from_tracers
+        assert from_results["rounds"]["value"] == 18
+
+
+class TestJsonl:
+    def _trace(self):
+        _, tracer = traced_run(rounds=5)
+        return tracer
+
+    def test_text_round_trip(self):
+        tracer = self._trace()
+        events = tracer.events + [tracer.summary_event()]
+        manifest = {"kind": "trace", "seed": 1}
+        text = events_to_jsonl(events, manifest=manifest)
+        parsed_manifest, parsed = events_from_jsonl(text)
+        assert parsed_manifest == manifest
+        assert parsed == events
+
+    def test_no_manifest(self):
+        tracer = self._trace()
+        manifest, parsed = events_from_jsonl(events_to_jsonl(tracer.events))
+        assert manifest is None
+        assert parsed == tracer.events
+
+    def test_empty_stream(self):
+        assert events_to_jsonl([]) == ""
+        assert events_from_jsonl("") == (None, [])
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = self._trace()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(path, tracer.events, manifest={"kind": "trace"})
+        manifest, parsed = read_jsonl(path)
+        assert manifest == {"kind": "trace"}
+        assert parsed == tracer.events
+
+    def test_file_object_round_trip(self):
+        tracer = self._trace()
+        buffer = io.StringIO()
+        write_jsonl(buffer, tracer.events)
+        manifest, parsed = read_jsonl(io.StringIO(buffer.getvalue()))
+        assert manifest is None
+        assert parsed == tracer.events
