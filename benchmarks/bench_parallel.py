@@ -62,15 +62,19 @@ def run_bench() -> dict:
     par_cells, par_seconds = min(
         (_regenerate(parallel=True) for _ in range(REPEATS)), key=lambda r: r[1]
     )
+    cpu_count = os.cpu_count() or 1
     results = {
         "cells": len(seq_cells),
         "workers": WORKERS,
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": cpu_count,
         "sequential_seconds": round(seq_seconds, 3),
         "parallel_seconds": round(par_seconds, 3),
         "speedup": round(seq_seconds / par_seconds, 2),
         "identical": _fingerprint(seq_cells) == _fingerprint(par_cells),
         "all_consistent": all(cell.consistent for cell in seq_cells),
+        # Honesty marker: on a <4-CPU host the ≥2x bar is not asserted,
+        # and any reader of the checked-in JSON should know that.
+        "skipped_speedup_assertion": cpu_count < 4,
     }
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     return results
@@ -83,7 +87,12 @@ def _render(results: dict) -> str:
             f"({results['cells']} cells, {results['cpu_count']} CPUs)",
             f"  sequential {results['sequential_seconds']:>7.3f} s",
             f"  parallel   {results['parallel_seconds']:>7.3f} s   "
-            f"({results['speedup']:.2f}x, identical={results['identical']})",
+            f"({results['speedup']:.2f}x, identical={results['identical']}"
+            + (
+                ", speedup bar skipped: <4 CPUs)"
+                if results["skipped_speedup_assertion"]
+                else ")"
+            ),
             f"  -> {RESULT_PATH.name}",
         ]
     )
@@ -95,7 +104,7 @@ def test_parallel_tables_identical_and_fast():
     assert results["cells"] == 28, f"expected 28 table cells, got {results['cells']}"
     assert results["identical"], "parallel table run diverged from sequential"
     assert results["all_consistent"], "some cell disagrees with the paper"
-    if results["cpu_count"] >= 4:
+    if not results["skipped_speedup_assertion"]:
         assert results["speedup"] >= 2.0, (
             f"parallel speedup {results['speedup']}x below the 2x acceptance bar "
             f"on a {results['cpu_count']}-CPU host"

@@ -50,6 +50,17 @@ def trace_main(argv=None) -> int:
         help="run on a seeded random dynamic network instead of a static one",
     )
     parser.add_argument(
+        "--recurring",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "run on a dynamic adversary cycling through a pool of P random "
+            "graphs (graph interning on: revisited topologies reuse their "
+            "compiled plans; memo counters land in the summary metrics)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="write the JSONL stream to this path (default: stdout)",
@@ -64,8 +75,13 @@ def trace_main(argv=None) -> int:
     )
     from repro.core.engine.trace import trace_execution, write_jsonl
     from repro.core.execution import Execution
+    from repro.core.memo import memo_stats, publish_memo_metrics
 
-    if args.dynamic:
+    if args.recurring is not None:
+        from repro.dynamics.generators import recurring_dynamic_pool
+
+        network = recurring_dynamic_pool(args.n, period=args.recurring, seed=args.seed)
+    elif args.dynamic:
         from repro.dynamics.generators import random_dynamic_strongly_connected
 
         network = random_dynamic_strongly_connected(args.n, seed=args.seed)
@@ -81,8 +97,16 @@ def trace_main(argv=None) -> int:
         algorithm = PushSumAlgorithm()
         inputs = [float(v + 1) for v in range(args.n)]
 
+    baseline = memo_stats()
     execution = Execution(algorithm, network, inputs=inputs)
     tracer = trace_execution(execution, rounds=args.rounds)
+    # This run's memo hits/misses (delta from the baseline snapshot) go
+    # into the summary metrics as memo_<cache>_hits / _misses counters.
+    publish_memo_metrics(tracer.registry, baseline)
+
+    extra = {"algorithm": args.algorithm, "dynamic": args.dynamic}
+    if args.recurring is not None:
+        extra["recurring"] = args.recurring
 
     manifest = Manifest(
         kind="trace",
@@ -91,7 +115,7 @@ def trace_main(argv=None) -> int:
         rounds=args.rounds,
         graph_hash=network_fingerprint(network),
         backend=current_backend(),
-        extra={"algorithm": args.algorithm, "dynamic": args.dynamic},
+        extra=extra,
     )
     events = list(tracer.events) + [tracer.summary_event()]
     if args.out:

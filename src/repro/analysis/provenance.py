@@ -24,27 +24,13 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.core.engine import ENGINE_VERSION
-from repro.core.metrics import canonical_repr
+
+# The fingerprint algorithm now lives in the memo layer (which caches it
+# on the graph and keys its content-addressed caches with it); manifests
+# and memo entries are keyed by the same bits.  Re-exported here so every
+# historical importer keeps working.
+from repro.core.memo import graph_fingerprint  # noqa: F401  (re-export)
 from repro.graphs.digraph import DiGraph
-
-
-def graph_fingerprint(graph: DiGraph) -> str:
-    """A content hash of a :class:`DiGraph` — stable across processes.
-
-    Hashes the vertex count, the sorted edge multiset (source, target,
-    color) and the canonicalized vertex values; 16 hex chars of SHA-256.
-    Isomorphic-but-relabelled graphs hash differently on purpose: the
-    manifest pins the *exact* network an experiment ran on.
-    """
-    edges = sorted(
-        (e.source, e.target, canonical_repr(e.color)) for e in graph.edges
-    )
-    payload = "\x1f".join(
-        [str(graph.n)]
-        + [f"{s}>{t}#{c}" for s, t, c in edges]
-        + [canonical_repr(graph.values)]
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def network_fingerprint(network: Any, rounds: int = 6) -> str:

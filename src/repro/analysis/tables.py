@@ -47,8 +47,8 @@ from repro.algorithms.push_sum import PushSumAlgorithm
 from repro.core.engine import BatchJob, PlanCache, run_batch
 from repro.core.models import CommunicationModel
 from repro.core.network_class import Knowledge
+from repro.core.memo import memoized_minimum_base
 from repro.dynamics.generators import random_dynamic_strongly_connected, random_dynamic_symmetric
-from repro.fibrations.minimum_base import minimum_base
 from repro.functions.classes import FunctionClass
 from repro.functions.library import AVERAGE, MAXIMUM, SUM
 from repro.graphs.builders import random_strongly_connected, random_symmetric_connected
@@ -153,7 +153,9 @@ def _broadcast_refutation(f: Callable, knowledge: Knowledge, rounds: int = 24) -
     # the two covers must not masquerade as a refutation.
     if outputs_match(raw(v1), raw(v2)):
         return False
-    mb1, mb2 = minimum_base(g1), minimum_base(g2)
+    # Content-memoized: many cells refute with the same cover pair, and
+    # the whole document computes each distinct cover's base once.
+    mb1, mb2 = memoized_minimum_base(g1), memoized_minimum_base(g2)
     ok1 = verify_lifting_on_outputs(mb1.fibration, GossipAlgorithm, list(mb1.base.values), rounds)
     ok2 = verify_lifting_on_outputs(mb2.fibration, GossipAlgorithm, list(mb2.base.values), rounds)
     return ok1 and ok2

@@ -39,6 +39,17 @@ from repro.core.engine import (
     trace_execution,
     write_jsonl,
 )
+from repro.core.memo import (
+    MemoCache,
+    clear_memos,
+    intern_graph,
+    memo_disabled,
+    memo_enabled,
+    memo_stats,
+    memoized_equitable_partition,
+    memoized_minimum_base,
+    publish_memo_metrics,
+)
 from repro.core.metrics import canonical_repr, discrete_metric, euclidean_metric
 from repro.core.convergence import (
     ConvergenceReport,
@@ -65,6 +76,7 @@ __all__ = [
     "Execution",
     "ExecutionSnapshot",
     "Knowledge",
+    "MemoCache",
     "MetricsRegistry",
     "NetworkClassSpec",
     "OutdegreeAlgorithm",
@@ -74,13 +86,21 @@ __all__ = [
     "Tracer",
     "attach_tracers",
     "canonical_repr",
+    "clear_memos",
     "computable_class",
     "discrete_metric",
     "euclidean_metric",
     "events_from_jsonl",
     "events_to_jsonl",
+    "intern_graph",
+    "memo_disabled",
+    "memo_enabled",
+    "memo_stats",
+    "memoized_equitable_partition",
+    "memoized_minimum_base",
     "merged_metrics",
     "parallel_map",
+    "publish_memo_metrics",
     "read_jsonl",
     "run_batch",
     "run_batch_parallel",

@@ -9,6 +9,7 @@ from repro.dynamics.dynamic_graph import (
 )
 from repro.dynamics.generators import (
     random_dynamic_strongly_connected,
+    recurring_dynamic_pool,
     random_dynamic_symmetric,
     sparse_pulsed_dynamic,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "random_dynamic_strongly_connected",
     "random_dynamic_symmetric",
     "random_matching_dynamic",
+    "recurring_dynamic_pool",
     "sparse_pulsed_dynamic",
     "window_to_completeness",
 ]

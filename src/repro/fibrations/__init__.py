@@ -15,9 +15,13 @@ from repro.fibrations.fibration import (
     is_fibration,
     ring_collapse,
 )
+from repro.fibrations.keys import equality_key, payloads_equal
 from repro.fibrations.minimum_base import (
     equitable_partition,
+    equitable_partition_reference,
     minimum_base,
+    quotient_by_partition,
+    same_partition,
     MinimumBase,
 )
 from repro.fibrations.prime import is_fibration_prime
@@ -26,7 +30,9 @@ from repro.fibrations.lifting import lift_valuation, lift_global_state, lifted_f
 __all__ = [
     "GraphMorphism",
     "MinimumBase",
+    "equality_key",
     "equitable_partition",
+    "equitable_partition_reference",
     "fibres",
     "is_covering",
     "is_fibration",
@@ -36,5 +42,8 @@ __all__ = [
     "lifted_function",
     "minimum_base",
     "morphism_from_vertex_map",
+    "payloads_equal",
+    "quotient_by_partition",
     "ring_collapse",
+    "same_partition",
 ]

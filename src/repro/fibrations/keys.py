@@ -1,0 +1,59 @@
+"""Equality-based keying of edge colors and vertex values.
+
+The fibration layer compares colors and values by **equality** with a
+:func:`~repro.core.metrics.canonical_repr` fallback, matching the
+``unanimous_output`` convention of the engine: ``Fraction(2, 1)`` and
+``2`` are the same color, and two equal frozensets key identically no
+matter how they iterate.  Raw ``repr`` keying (the previous scheme) split
+equal-but-differently-printed payloads into distinct classes and made the
+refiner and the morphism validator disagree.
+
+Every module that groups or compares colors/values — the partition
+refiners in :mod:`repro.fibrations.minimum_base`, the morphism machinery
+in :mod:`repro.fibrations.morphism` — must key through this module so the
+convention cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.metrics import canonical_repr
+
+
+class ReprKey:
+    """Hashable stand-in for an unhashable color/value: its canonical repr."""
+
+    __slots__ = ("repr",)
+
+    def __init__(self, r: str):
+        self.repr = r
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReprKey) and self.repr == other.repr
+
+    def __hash__(self) -> int:
+        return hash(self.repr)
+
+    def __repr__(self) -> str:
+        return f"ReprKey({self.repr})"
+
+
+def equality_key(x: Any) -> Any:
+    """A hashable key equal exactly when the payloads are ``==``-equal.
+
+    Hashable, self-equal payloads key as themselves (so ``Fraction(2, 1)``,
+    ``2.0`` and ``2`` collide); unhashable or NaN-like payloads fall back
+    to a :class:`ReprKey` of their canonical repr.
+    """
+    try:
+        hash(x)
+    except TypeError:
+        return ReprKey(canonical_repr(x))
+    return x if x == x else ReprKey(canonical_repr(x))
+
+
+def payloads_equal(a: Any, b: Any) -> bool:
+    """Equality under the shared keying — the comparison every fibration
+    component must use for colors and values."""
+    return equality_key(a) == equality_key(b)

@@ -11,6 +11,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.digraph import DiGraph, Edge
+from repro.fibrations.keys import equality_key, payloads_equal
 
 
 class GraphMorphism:
@@ -77,11 +78,11 @@ class GraphMorphism:
                 problems.append(f"edge {e}: source not commuted ({img.source} != φ({e.source}))")
             if img.target != self.vertex_map[e.target]:
                 problems.append(f"edge {e}: target not commuted ({img.target} != φ({e.target}))")
-            if check_colors and repr(img.color) != repr(e.color):
+            if check_colors and not payloads_equal(img.color, e.color):
                 problems.append(f"edge {e}: color {e.color!r} not preserved (image has {img.color!r})")
         if check_values and g.values is not None and h.values is not None:
             for v in g.vertices():
-                if repr(g.value(v)) != repr(h.value(self.vertex_map[v])):
+                if not payloads_equal(g.value(v), h.value(self.vertex_map[v])):
                     problems.append(
                         f"vertex {v}: value {g.value(v)!r} != codomain value {h.value(self.vertex_map[v])!r}"
                     )
@@ -127,20 +128,21 @@ def _match_in_edges(
     """Biject ``vertex``'s in-edges with its image's in-edges, respecting φ.
 
     An in-edge ``(u, vertex)`` with color ``c`` can only map to an in-edge
-    ``(φ(u), φ(vertex))`` with color ``c``.  Both sides are grouped by the
-    key ``(source class, color)``; a bijection exists iff the grouped
+    ``(φ(u), φ(vertex))`` with an equal color.  Both sides are grouped by
+    the key ``(source class, color key)`` — the shared equality keying of
+    :mod:`repro.fibrations.keys` — and a bijection exists iff the grouped
     multiplicities agree, in which case pairing within each group is
     arbitrary (done in deterministic order).
 
     Returns ``{g_edge_index: h_edge_index}`` or ``None``.
     """
     image = vmap[vertex]
-    mine: Dict[Tuple[int, str], List[int]] = defaultdict(list)
+    mine: Dict[Tuple[int, object], List[int]] = defaultdict(list)
     for e in g.in_edges(vertex):
-        mine[(vmap[e.source], repr(e.color))].append(e.index)
-    theirs: Dict[Tuple[int, str], List[int]] = defaultdict(list)
+        mine[(vmap[e.source], equality_key(e.color))].append(e.index)
+    theirs: Dict[Tuple[int, object], List[int]] = defaultdict(list)
     for e in h.in_edges(image):
-        theirs[(e.source, repr(e.color))].append(e.index)
+        theirs[(e.source, equality_key(e.color))].append(e.index)
     if set(mine) != set(theirs):
         return None
     pairing: Dict[int, int] = {}

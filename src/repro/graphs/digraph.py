@@ -99,6 +99,7 @@ class DiGraph:
         "_out",
         "_in",
         "_out_ports",
+        "_fingerprint",
     )
 
     def __init__(
@@ -152,6 +153,9 @@ class DiGraph:
             for port, e in enumerate(self._out[v]):
                 ports[e.index] = port
         self._out_ports: Dict[int, int] = ports
+        # Content fingerprint, computed lazily by repro.core.memo; ``None``
+        # until someone asks for it (most throwaway graphs never do).
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors

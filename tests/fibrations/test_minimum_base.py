@@ -129,3 +129,51 @@ class TestMinimumBase:
             values[perm[v]] = g.value(v)
         h = DiGraph(7, specs, values=values)
         assert are_isomorphic(minimum_base(g).base, minimum_base(h).base)
+
+
+class TestEqualityKeying:
+    """Colors and values key by equality (PR 1's ``unanimous_output``
+    convention), not raw ``repr`` — ``Fraction(2, 1)`` and ``2`` are the
+    same payload."""
+
+    def test_fraction_and_int_values_share_a_class(self):
+        from fractions import Fraction
+
+        g = bidirectional_ring(6, values=[Fraction(2, 1), 2, 2.0, Fraction(2, 1), 2, 2.0])
+        classes = equitable_partition(g)
+        assert len(set(classes)) == 1
+        assert minimum_base(g).base.n == 1
+
+    def test_fraction_colored_graph_matches_int_colored_twin(self):
+        from fractions import Fraction
+
+        specs_frac = [(0, 1, Fraction(1, 1)), (1, 2, 2), (2, 0, Fraction(1, 1)), (0, 0, 2)]
+        specs_int = [(0, 1, 1), (1, 2, 2), (2, 0, 1), (0, 0, 2)]
+        g_frac = DiGraph(3, specs_frac, values=[5, 5, 5])
+        g_int = DiGraph(3, specs_int, values=[5, 5, 5])
+        # Same partition (labels may differ: canonical numbering keys on
+        # the reprs of the representatives actually present).
+        from repro.fibrations.minimum_base import same_partition
+
+        assert same_partition(equitable_partition(g_frac), equitable_partition(g_int))
+        assert minimum_base(g_frac).base.n == minimum_base(g_int).base.n
+
+    def test_quotient_accepts_mixed_representations(self):
+        from fractions import Fraction
+
+        # One class whose in-edges mix Fraction(1, 1)- and 1.0-colored
+        # edges: the quotient must still extend to a valid fibration
+        # (regression — repr-keyed morphism matching used to reject it).
+        g = DiGraph(
+            4,
+            [(0, 1, Fraction(1, 1)), (0, 2, 1.0), (1, 0, None), (2, 0, None), (3, 3, None)],
+            values=["a", "b", "b", "c"],
+        )
+        mb = quotient_by_partition(g, equitable_partition(g))
+        assert mb.fibration.is_valid()
+
+    def test_equal_frozensets_key_equally(self):
+        a = frozenset(["x", "y", "zz"])
+        b = frozenset(["zz", "y", "x"])
+        g = bidirectional_ring(4, values=[a, b, a, b])
+        assert len(set(equitable_partition(g))) == 1
