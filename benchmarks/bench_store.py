@@ -1,0 +1,121 @@
+"""Experiment A11 — warm-store table regeneration vs cold computation.
+
+Runs ``reproduce_table1`` three ways against a fresh result store:
+
+* **cold** — empty store; every one of the 16 cells is computed and
+  persisted (content-addressed, atomic writes);
+* **warm** — same store; every cell is served from disk without touching
+  the engine;
+* **healed** — one entry is corrupted on disk first; the store must
+  detect the bad digest, quarantine the entry, recompute exactly that
+  cell, and re-persist it — transparently returning correct results.
+
+Results are written to ``BENCH_store.json`` at the repo root: cold and
+warm wall time, the speedup (acceptance bar: warm ≥ 5× faster than
+cold), store hit/miss/heal counters, and the verdicts.  Run directly
+(``python benchmarks/bench_store.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis.tables import reproduce_table1
+from repro.store.cache import ResultStore
+
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def _fingerprint(cells):
+    return [
+        (
+            cell.model.value,
+            cell.knowledge.value,
+            cell.label(),
+            cell.consistent,
+            tuple(cell.details),
+        )
+        for cell in cells
+    ]
+
+
+def _timed_table(store):
+    started = time.perf_counter()
+    cells = list(reproduce_table1(store=store))
+    return cells, time.perf_counter() - started
+
+
+def run_bench() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as root:
+        store = ResultStore(root)
+
+        cold_cells, cold_seconds = _timed_table(store)
+        cold_stats = store.stats()
+
+        warm_cells, warm_seconds = min(
+            (_timed_table(store) for _ in range(REPEATS)), key=lambda r: r[1]
+        )
+        warm_stats = store.stats()
+
+        # Corrupt one entry on disk; the next pass must heal it.
+        key, _entry = next(store.entries())
+        with open(store.entry_path(key), "w") as fh:
+            fh.write("bitrot")
+        healed_cells, _healed_seconds = _timed_table(store)
+
+        results = {
+            "cells": len(cold_cells),
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 4),
+            "speedup": round(cold_seconds / warm_seconds, 1),
+            "cold_puts": cold_stats["puts"],
+            "warm_hits": warm_stats["hits"] - cold_stats["hits"],
+            "healed_entries": store.healed,
+            "warm_identical": _fingerprint(cold_cells) == _fingerprint(warm_cells),
+            "healed_identical": _fingerprint(cold_cells) == _fingerprint(healed_cells),
+            "all_consistent": all(cell.consistent for cell in cold_cells),
+            "store_entries": len(store),
+        }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _render(results: dict) -> str:
+    return "\n".join(
+        [
+            f"Table 1 through the result store ({results['cells']} cells)",
+            f"  cold (compute + persist) {results['cold_seconds']:>8.3f} s   "
+            f"({results['cold_puts']} puts)",
+            f"  warm (served from disk)  {results['warm_seconds']:>8.4f} s   "
+            f"({results['speedup']}x, identical={results['warm_identical']})",
+            f"  corrupt entry healed: {results['healed_entries']} "
+            f"(identical={results['healed_identical']})",
+            f"  -> {RESULT_PATH.name}",
+        ]
+    )
+
+
+def test_warm_store_is_fast_and_identical():
+    results = run_bench()
+    emit(_render(results))
+    assert results["cells"] == 16, f"expected 16 cells, got {results['cells']}"
+    assert results["cold_puts"] == 16, "cold run must persist every cell"
+    assert results["warm_hits"] >= 16, "warm run must serve every cell from disk"
+    assert results["warm_identical"], "warm cells diverged from cold computation"
+    assert results["healed_entries"] == 1, "corrupt entry was not quarantined"
+    assert results["healed_identical"], "healed run diverged from cold computation"
+    assert results["all_consistent"], "some cell disagrees with the paper"
+    assert results["speedup"] >= 5.0, (
+        f"warm store only {results['speedup']}x faster than cold "
+        "(acceptance bar: 5x)"
+    )
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))

@@ -1,0 +1,102 @@
+"""Kill -9 a Table 2 regeneration mid-run and resume it.
+
+The durable-store walkthrough (EXPERIMENTS.md, experiment A11) as a
+self-contained script:
+
+1. regenerate Table 2 through the job scheduler in a *clean* store —
+   the uninterrupted reference document;
+2. submit the same job to a second store, drive it with a worker
+   subprocess, and ``SIGKILL`` the worker after it has persisted at
+   least one cell but before it can finish;
+3. resume with a fresh worker: it breaks the dead worker's stale lease,
+   serves the already-computed cells from the store, computes only the
+   remainder, and emits the final document;
+4. assert the resumed document is **byte-for-byte identical** to the
+   uninterrupted one.
+
+Exits non-zero (via the asserts) if any step misbehaves, so CI can run
+it as-is.  Prints the store statistics that make the resume visible —
+the second worker's cell *hits* are work the crash did not destroy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.store.jobs import open_queue, open_store, run_worker
+from repro.store.scheduler import DONE, JobQueue
+
+PARAMS = {"n": 4, "seed": 0}
+
+
+def reference_document(root: str) -> bytes:
+    queue, store = open_queue(root), open_store(root)
+    record = queue.submit("table2", PARAMS)
+    run_worker(root, queue=queue, store=store)
+    key = queue.get(record.id).result_key
+    with open(store.entry_path(key), "rb") as fh:
+        return fh.read()
+
+
+def interrupted_document(root: str) -> tuple[bytes, dict]:
+    queue = JobQueue(os.path.join(root, "queue"), lease_ttl=0.5)
+    store = open_store(root)
+    record = queue.submit("table2", PARAMS)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")] if p
+    )
+    worker = subprocess.Popen(
+        [sys.executable, "-m", "repro", "store", "--root", root, "run"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if queue.get(record.id).progress.get("units_done", 0) >= 1:
+                break
+            if worker.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            raise RuntimeError("worker never reported progress")
+    finally:
+        if worker.poll() is None:
+            os.kill(worker.pid, signal.SIGKILL)
+            print(f"  killed worker pid {worker.pid} (SIGKILL) "
+                  f"after {queue.get(record.id).progress} cells")
+        worker.wait()
+
+    if queue.get(record.id).status != DONE:
+        time.sleep(0.6)  # let the dead worker's lease age past its TTL
+        assert run_worker(root, queue=queue, store=store) == 1
+    resumed = queue.get(record.id)
+    assert resumed.status == DONE, resumed.status
+    with open(store.entry_path(resumed.result_key), "rb") as fh:
+        return fh.read(), store.stats()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-crash-demo-") as top:
+        print("reference run (uninterrupted)...")
+        clean = reference_document(os.path.join(top, "clean"))
+        print("interrupted run (worker subprocess, kill -9 mid-table)...")
+        resumed, stats = interrupted_document(os.path.join(top, "interrupted"))
+
+        assert resumed == clean, "resumed document differs from uninterrupted run"
+        print(f"  resumed document: {len(resumed)} bytes, byte-identical: True")
+        print(f"  store stats after resume: {json.dumps(stats)}")
+        print("OK — crash, resume, and byte-identical Table 2 document.")
+
+
+if __name__ == "__main__":
+    main()

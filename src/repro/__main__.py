@@ -8,6 +8,10 @@ Usage::
     python -m repro --json          # machine-readable certificate (+ manifest)
     python -m repro trace --n 8 --rounds 20 --out trace.jsonl
                                     # round-level JSONL trace of one execution
+    python -m repro store --root ./exp submit table2 --n 5
+    python -m repro store --root ./exp run          # crash-safe worker loop
+    python -m repro store --root ./exp status       # queue + cache stats
+                                    # durable, resumable experiment runs
 """
 
 from __future__ import annotations
@@ -126,11 +130,150 @@ def trace_main(argv=None) -> int:
     return 0
 
 
+def store_main(argv=None) -> int:
+    """``python -m repro store`` — the durable experiment store CLI.
+
+    ``submit`` enqueues a job (idempotent on its parameters), ``run``
+    drives the crash-safe worker loop until the queue drains, ``status``
+    prints queue and cache statistics, ``result`` prints a finished job's
+    document, and ``gc`` reclaims stale leases, temp files, and corrupt
+    or cross-generation cache entries.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description=(
+            "Durable experiment runs: a content-addressed result store plus "
+            "a crash-safe job queue.  Kill a worker mid-run (kill -9 "
+            "included) and a fresh `run` resumes from the last finished "
+            "cell — the final document is byte-identical to an "
+            "uninterrupted run's."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        required=True,
+        help="store root directory (results live here, the queue under queue/)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="enqueue a job (idempotent)")
+    p_submit.add_argument(
+        "kind", choices=["table1", "table2", "certificate", "sweep"]
+    )
+    p_submit.add_argument("--n", type=int, default=None, help="network size")
+    p_submit.add_argument("--seed", type=int, default=0, help="random-graph seed")
+    p_submit.add_argument(
+        "--spec",
+        action="append",
+        default=[],
+        metavar="N,D,SEED,ROUNDS",
+        help="one sweep configuration (repeatable; sweep jobs only)",
+    )
+    p_submit.add_argument(
+        "--max-attempts", type=int, default=3, help="retry budget before parking as failed"
+    )
+
+    p_run = sub.add_parser("run", help="worker loop: claim and run jobs")
+    p_run.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after this many jobs"
+    )
+    p_run.add_argument(
+        "--wait",
+        action="store_true",
+        help="keep polling for new jobs instead of exiting when the queue drains",
+    )
+
+    sub.add_parser("status", help="queue counts, job list, cache stats")
+
+    p_result = sub.add_parser("result", help="print a finished job's document")
+    p_result.add_argument("job_id")
+
+    sub.add_parser("gc", help="break stale leases, sweep temp files, heal the cache")
+
+    args = parser.parse_args(argv)
+
+    from repro.store.jobs import open_queue, open_store, run_worker
+
+    store = open_store(args.root)
+    queue = open_queue(args.root)
+
+    if args.command == "submit":
+        if args.kind == "sweep":
+            if not args.spec:
+                parser.error("sweep jobs need at least one --spec N,D,SEED,ROUNDS")
+            specs = [[int(x) for x in spec.split(",")] for spec in args.spec]
+            params = {"specs": specs}
+        else:
+            default_n = 5 if args.kind == "table2" else 6
+            params = {"n": args.n if args.n is not None else default_n, "seed": args.seed}
+        record = queue.submit(args.kind, params, max_attempts=args.max_attempts)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "run":
+        processed = run_worker(
+            args.root,
+            max_jobs=args.max_jobs,
+            idle_exit=not args.wait,
+            queue=queue,
+            store=store,
+        )
+        counts = queue.counts()
+        print(f"processed {processed} job(s); queue now {counts}")
+        return 0 if counts["failed"] == 0 else 1
+
+    if args.command == "status":
+        print(
+            json.dumps(
+                {
+                    "queue": queue.counts(),
+                    "jobs": [r.to_dict() for r in queue.jobs()],
+                    "store": store.stats(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    if args.command == "result":
+        record = queue.get(args.job_id)
+        if record is None:
+            print(f"no such job: {args.job_id}", file=sys.stderr)
+            return 1
+        if record.status != "done" or not record.result_key:
+            print(
+                f"job {args.job_id} is {record.status}, no result document yet",
+                file=sys.stderr,
+            )
+            return 1
+        payload = store.get(record.result_key)
+        if payload is None:
+            print(
+                f"result entry {record.result_key} is missing or corrupt; "
+                "resubmit the job to recompute it",
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    # gc
+    print(
+        json.dumps(
+            {"queue": queue.gc(), "store": store.gc()}, indent=2, sort_keys=True
+        )
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -21,7 +21,12 @@ import json
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.provenance import ENGINE_VERSION, Manifest
-from repro.analysis.tables import CellResult, reproduce_table1, reproduce_table2
+from repro.analysis.tables import (
+    CellResult,
+    cell_to_payload,
+    reproduce_table1,
+    reproduce_table2,
+)
 from repro.core.computability import computable_class
 from repro.core.models import CommunicationModel
 from repro.core.network_class import Knowledge
@@ -32,20 +37,10 @@ _REQUIRED_CELL_KEYS = (
     "open_question", "consistent", "details", "manifest",
 )
 
-
-def _cell_record(result: CellResult) -> Dict[str, Any]:
-    return {
-        "model": result.model.value,
-        "knowledge": result.knowledge.value,
-        "dynamic": result.dynamic,
-        "measured_class": None if result.measured is None else result.measured.label,
-        "paper_class": result.expected.label(),
-        "paper_note": result.expected.note,
-        "open_question": result.expected.open_question,
-        "consistent": result.consistent,
-        "details": list(result.details),
-        "manifest": None if result.manifest is None else result.manifest.to_dict(),
-    }
+#: Cell records in certificates are exactly the store's cell payloads, so
+#: a certificate assembled from a warm store is byte-identical to one
+#: computed from scratch.
+_cell_record = cell_to_payload
 
 
 def reproduction_certificate(
@@ -53,6 +48,7 @@ def reproduction_certificate(
     seed: int = 0,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> Dict[str, Any]:
     """Run both tables and assemble the certificate document.
 
@@ -60,19 +56,23 @@ def reproduction_certificate(
     contract (``None`` defers to ``REPRO_PARALLEL=1``); the backend that
     actually drove the run is recorded on the document-level manifest,
     while the per-cell manifests stay backend-free (and therefore
-    bit-identical across backends).
+    bit-identical across backends).  ``store`` follows the same contract
+    as the table functions: individual cells are served from the durable
+    result store when warm and persisted when cold.
     """
     from repro.core.engine.batch import parallel_enabled_by_env
 
     resolved_parallel = parallel_enabled_by_env() if parallel is None else parallel
     table1 = [
         _cell_record(r)
-        for r in reproduce_table1(n=n, seed=seed, parallel=parallel, workers=workers)
+        for r in reproduce_table1(
+            n=n, seed=seed, parallel=parallel, workers=workers, store=store
+        )
     ]
     table2 = [
         _cell_record(r)
         for r in reproduce_table2(
-            n=min(n, 6), seed=seed, parallel=parallel, workers=workers
+            n=min(n, 6), seed=seed, parallel=parallel, workers=workers, store=store
         )
     ]
     all_cells = table1 + table2
@@ -109,11 +109,26 @@ def certificate_json(
     indent: int = 2,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> str:
     return json.dumps(
-        reproduction_certificate(n=n, seed=seed, parallel=parallel, workers=workers),
+        reproduction_certificate(
+            n=n, seed=seed, parallel=parallel, workers=workers, store=store
+        ),
         indent=indent,
     )
+
+
+def write_certificate(path, doc: Dict[str, Any], indent: int = 2) -> None:
+    """Write a certificate document to ``path`` atomically.
+
+    A crash mid-write leaves either the previous document or the new one,
+    never a torn file — CI archives these, so a half-written artifact must
+    be impossible.
+    """
+    from repro.store.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(doc, indent=indent) + "\n")
 
 
 # ---------------------------------------------------------------------- #

@@ -159,8 +159,35 @@ class ProofCheck:
         return not self.problems
 
 
-def _proof_check_task(spec) -> ProofCheck:
-    n, d, seed, rounds = spec
+def proof_check_to_payload(check: ProofCheck) -> dict:
+    """JSON-safe record of one proof check — what the durable store keeps."""
+    manifest = check.manifest
+    return {
+        "n": check.n,
+        "d": check.d,
+        "seed": check.seed,
+        "rounds": check.rounds,
+        "problems": list(check.problems),
+        "manifest": None if manifest is None else manifest.to_dict(),
+    }
+
+
+def proof_check_from_payload(payload: dict) -> ProofCheck:
+    """Rebuild a :class:`ProofCheck` from :func:`proof_check_to_payload`."""
+    from repro.analysis.provenance import Manifest
+
+    manifest = payload.get("manifest")
+    return ProofCheck(
+        int(payload["n"]),
+        int(payload["d"]),
+        int(payload["seed"]),
+        int(payload["rounds"]),
+        list(payload["problems"]),
+        None if manifest is None else Manifest.from_dict(manifest),
+    )
+
+
+def _compute_proof_check(n: int, d: int, seed: int, rounds: int) -> ProofCheck:
     from repro.analysis.provenance import Manifest, network_fingerprint
     from repro.dynamics.generators import random_dynamic_strongly_connected
 
@@ -178,7 +205,37 @@ def _proof_check_task(spec) -> ProofCheck:
     return ProofCheck(n, d, seed, rounds, verify_proof_invariants(trace, d=d, n=n), manifest)
 
 
-def sweep_proof_invariants(specs, parallel: bool = False, workers=None) -> List[ProofCheck]:
+def check_proof_invariants(n: int, d: int, seed: int, rounds: int, store=None) -> ProofCheck:
+    """One proof-invariant check, served from the result store when warm."""
+    if store is None:
+        return _compute_proof_check(n, d, seed, rounds)
+    from repro.store.cache import fetch_or_compute
+
+    return fetch_or_compute(
+        store,
+        "rate-sweep-check",
+        {"n": n, "d": d, "seed": seed, "rounds": rounds},
+        lambda: _compute_proof_check(n, d, seed, rounds),
+        proof_check_to_payload,
+        proof_check_from_payload,
+    )
+
+
+def _proof_check_task(spec) -> ProofCheck:
+    """One check from a picklable spec; an optional fifth element names a
+    store root so pool workers share the parent's on-disk cache."""
+    n, d, seed, rounds = spec[:4]
+    store = None
+    if len(spec) > 4 and spec[4]:
+        from repro.store.cache import ResultStore
+
+        store = ResultStore(spec[4])
+    return check_proof_invariants(n, d, seed, rounds, store=store)
+
+
+def sweep_proof_invariants(
+    specs, parallel: bool = False, workers=None, store=None
+) -> List[ProofCheck]:
     """Check Theorem 5.2's proof inequalities across a grid of runs.
 
     ``specs`` is a sequence of ``(n, d, seed, rounds)`` tuples; each one
@@ -188,11 +245,20 @@ def sweep_proof_invariants(specs, parallel: bool = False, workers=None) -> List[
     sound for per-round strongly connected graphs).  Configurations are
     independent, so ``parallel=True`` fans them across a process pool
     (:func:`repro.core.engine.parallel.parallel_map`); results come back
-    in spec order either way.
+    in spec order either way.  ``store`` short-circuits already-checked
+    configurations from the durable result store (``None`` defers to the
+    ``REPRO_STORE`` environment variable), which is what lets a killed
+    sweep resume from its last finished configuration.
     """
+    from repro.store.cache import resolve_store
+
+    store = resolve_store(store)
     specs = [tuple(s) for s in specs]
     if parallel:
         from repro.core.engine.parallel import parallel_map
 
-        return parallel_map(_proof_check_task, specs, workers=workers)
-    return [_proof_check_task(s) for s in specs]
+        root = getattr(store, "root", None)
+        return parallel_map(
+            _proof_check_task, [s + (root,) for s in specs], workers=workers
+        )
+    return [check_proof_invariants(*s, store=store) for s in specs]

@@ -21,7 +21,7 @@ bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.algorithms.constant_weight import ConstantWeightFrequency
 from repro.algorithms.gossip import GossipAlgorithm
@@ -76,6 +76,55 @@ class CellResult:
         if self.measured is None:
             return "(none measured)"
         return self.measured.label
+
+
+def cell_to_payload(result: CellResult) -> Dict[str, Any]:
+    """The JSON-safe record of one cell — the shape certificates embed
+    and the durable :mod:`repro.store` persists.  Everything in it is
+    deterministic, so two processes that compute the same cell write the
+    same bytes."""
+    return {
+        "model": result.model.value,
+        "knowledge": result.knowledge.value,
+        "dynamic": result.dynamic,
+        "measured_class": None if result.measured is None else result.measured.label,
+        "paper_class": result.expected.label(),
+        "paper_note": result.expected.note,
+        "open_question": result.expected.open_question,
+        "consistent": result.consistent,
+        "details": list(result.details),
+        "manifest": None if result.manifest is None else result.manifest.to_dict(),
+    }
+
+
+def cell_from_payload(payload: Dict[str, Any]) -> CellResult:
+    """Rebuild a :class:`CellResult` from :func:`cell_to_payload` output.
+
+    The paper-side expectation is re-derived from the computability
+    oracle (not trusted from disk), mirroring ``verify_certificate``;
+    a payload with unknown enum values or a missing field raises, which
+    the store layer treats as a corrupt entry and recomputes.
+    """
+    model = CommunicationModel(payload["model"])
+    knowledge = Knowledge(payload["knowledge"])
+    dynamic = bool(payload["dynamic"])
+    expected = computable_class(model, knowledge, dynamic=dynamic)
+    measured_label = payload["measured_class"]
+    if measured_label is None:
+        measured = None
+    else:
+        measured = next(fc for fc in FunctionClass if fc.label == measured_label)
+    manifest = payload.get("manifest")
+    return CellResult(
+        model,
+        knowledge,
+        dynamic,
+        expected,
+        measured,
+        bool(payload["consistent"]),
+        list(payload["details"]),
+        None if manifest is None else Manifest.from_dict(manifest),
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -432,27 +481,90 @@ def run_dynamic_cell(
 # whole tables
 # ---------------------------------------------------------------------- #
 
-def _cell_task(spec: Tuple[bool, CommunicationModel, Knowledge, int, int]) -> CellResult:
-    """One table cell from a picklable spec — the unit the pool fans out."""
-    dynamic, model, knowledge, n, seed = spec
-    runner = run_dynamic_cell if dynamic else run_static_cell
-    return runner(model, knowledge, n=n, seed=seed)
+def table_specs(dynamic: bool, n: int, seed: int) -> List[Tuple]:
+    """The cell specs of one table, in document order — the unit list
+    both the reproduce functions and the durable job runners iterate."""
+    models = TABLE2_MODELS if dynamic else TABLE1_MODELS
+    return [
+        (dynamic, model, knowledge, n, seed)
+        for knowledge in ROW_ORDER
+        for model in models
+    ]
 
 
-def _run_cells(specs, parallel: Optional[bool], workers: Optional[int]) -> List[CellResult]:
+def compute_cell(
+    dynamic: bool,
+    model: CommunicationModel,
+    knowledge: Knowledge,
+    n: int,
+    seed: int,
+    plan_cache: Optional[PlanCache] = None,
+    store=None,
+) -> CellResult:
+    """One table cell, served from the durable result store when warm.
+
+    ``store`` is a :class:`repro.store.cache.ResultStore` (or ``None``
+    for compute-always).  Store keys bind the cell parameters *and* the
+    engine generation; a corrupted entry is quarantined and recomputed,
+    never served.
+    """
+    def compute() -> CellResult:
+        runner = run_dynamic_cell if dynamic else run_static_cell
+        return runner(model, knowledge, n=n, seed=seed, plan_cache=plan_cache)
+
+    if store is None:
+        return compute()
+    from repro.store.cache import fetch_or_compute
+
+    return fetch_or_compute(
+        store,
+        "table2-cell" if dynamic else "table1-cell",
+        {
+            "dynamic": dynamic,
+            "model": model.value,
+            "knowledge": knowledge.value,
+            "n": n,
+            "seed": seed,
+        },
+        compute,
+        cell_to_payload,
+        cell_from_payload,
+    )
+
+
+def _cell_task(spec) -> CellResult:
+    """One table cell from a picklable spec — the unit the pool fans out.
+
+    The spec optionally carries a store root (sixth element) so pool
+    workers consult and fill the same on-disk result store the parent
+    uses (atomic writes make concurrent fills safe)."""
+    dynamic, model, knowledge, n, seed = spec[:5]
+    store = None
+    if len(spec) > 5 and spec[5]:
+        from repro.store.cache import ResultStore
+
+        store = ResultStore(spec[5])
+    return compute_cell(dynamic, model, knowledge, n, seed, store=store)
+
+
+def _run_cells(
+    specs, parallel: Optional[bool], workers: Optional[int], store=None
+) -> List[CellResult]:
     """Run table cells sequentially (one shared plan cache) or fanned
-    across a process pool (each worker keeps its own cache)."""
+    across a process pool (each worker keeps its own cache); ``store``
+    short-circuits already-computed cells from disk either way."""
     from repro.core.engine.batch import parallel_enabled_by_env
     from repro.core.engine.parallel import parallel_map
 
     if parallel is None:
         parallel = parallel_enabled_by_env()
     if parallel:
-        return parallel_map(_cell_task, specs, workers=workers)
+        root = getattr(store, "root", None)
+        return parallel_map(_cell_task, [s + (root,) for s in specs], workers=workers)
     plan_cache = PlanCache()
     return [
-        (run_dynamic_cell if dynamic else run_static_cell)(
-            model, knowledge, n=n, seed=seed, plan_cache=plan_cache
+        compute_cell(
+            dynamic, model, knowledge, n, seed, plan_cache=plan_cache, store=store
         )
         for dynamic, model, knowledge, n, seed in specs
     ]
@@ -463,6 +575,7 @@ def reproduce_table1(
     seed: int = 0,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> List[CellResult]:
     """Run all 16 static cells.
 
@@ -470,13 +583,18 @@ def reproduce_table1(
     probing the same graph reuse its compiled delivery schedule;
     ``parallel=True`` fans independent cells across a process pool
     instead (``workers`` defaults to one per CPU).  ``parallel=None``
-    resolves to the ``REPRO_PARALLEL=1`` environment switch."""
-    specs = [
-        (False, model, knowledge, n, seed)
-        for knowledge in ROW_ORDER
-        for model in TABLE1_MODELS
-    ]
-    return _run_cells(specs, parallel, workers)
+    resolves to the ``REPRO_PARALLEL=1`` environment switch.
+
+    ``store`` makes the table durable: pass a
+    :class:`repro.store.cache.ResultStore` (or a path) and every cell is
+    served from disk when already computed, persisted when not —
+    ``store=None`` defers to the ``REPRO_STORE`` environment variable
+    (no store when unset)."""
+    from repro.store.cache import resolve_store
+
+    return _run_cells(
+        table_specs(False, n, seed), parallel, workers, store=resolve_store(store)
+    )
 
 
 def reproduce_table2(
@@ -484,15 +602,15 @@ def reproduce_table2(
     seed: int = 0,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    store=None,
 ) -> List[CellResult]:
-    """Run all 12 dynamic cells; same ``parallel`` contract as
+    """Run all 12 dynamic cells; same ``parallel``/``store`` contract as
     :func:`reproduce_table1`."""
-    specs = [
-        (True, model, knowledge, n, seed)
-        for knowledge in ROW_ORDER
-        for model in TABLE2_MODELS
-    ]
-    return _run_cells(specs, parallel, workers)
+    from repro.store.cache import resolve_store
+
+    return _run_cells(
+        table_specs(True, n, seed), parallel, workers, store=resolve_store(store)
+    )
 
 
 def format_results(results: List[CellResult], title: str) -> str:

@@ -116,7 +116,9 @@ def _worker_chunk(kind: str, indices: Sequence[int], blob: Optional[bytes]) -> L
             result = _execute_job(job, cache)
             execution = result.execution
             try:  # states may hold unserializable payloads; outputs must not
-                states = pickle.loads(pickle.dumps(execution.states))
+                from repro.store.snapshot import copy_states
+
+                states = copy_states(execution.states)
             except Exception:
                 states = None
             out.append(

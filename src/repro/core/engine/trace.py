@@ -499,13 +499,19 @@ def events_from_jsonl(text: str) -> Tuple[Optional[Dict[str, Any]], List[TraceEv
 
 def write_jsonl(path_or_file: Union[str, IO[str]], events: Iterable[TraceEvent],
                 manifest: Optional[Dict[str, Any]] = None) -> None:
-    """:func:`events_to_jsonl` to a path or an open text file."""
+    """:func:`events_to_jsonl` to a path or an open text file.
+
+    Path writes are atomic (tempfile + rename via the store layer's
+    :func:`~repro.store.atomic.atomic_write_text`): a crash mid-export
+    leaves the previous trace intact, never a truncated stream.
+    """
     text = events_to_jsonl(events, manifest=manifest)
     if hasattr(path_or_file, "write"):
         path_or_file.write(text)
     else:
-        with open(path_or_file, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        from repro.store.atomic import atomic_write_text  # no cycle: atomic is leaf
+
+        atomic_write_text(path_or_file, text)
 
 
 def read_jsonl(path_or_file: Union[str, IO[str]]) -> Tuple[Optional[Dict[str, Any]], List[TraceEvent]]:

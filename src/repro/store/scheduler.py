@@ -1,0 +1,342 @@
+"""A crash-safe, disk-backed job scheduler over lock-file leases.
+
+The queue is a directory: one JSON record per job under ``jobs/``, one
+lease file per *running* job under ``leases/``.  No daemon, no socket,
+no database — any number of worker processes sharing the filesystem
+cooperate through two primitives:
+
+* **Atomic job records.**  Job state transitions rewrite the record via
+  :func:`~repro.store.atomic.atomic_write_text`, so a record is always a
+  complete JSON document in exactly one state.
+* **Exclusive lease files.**  Claiming a job creates
+  ``leases/<job_id>.lock`` with ``O_CREAT | O_EXCL`` — the POSIX
+  test-and-set.  The holder refreshes the lease's heartbeat field
+  periodically; a lease whose heartbeat is older than ``lease_ttl``
+  seconds belongs to a dead worker (``kill -9`` leaves exactly this
+  residue) and is broken by the next claimant, which re-runs the job.
+
+Failure policy: a job that raises is requeued with capped exponential
+backoff (``retry_base * 2^(attempts-1)``, capped at ``retry_cap``) until
+``max_attempts`` is exhausted, then parked as ``failed`` with the error
+recorded.  Because the runners persist every finished cell into the
+:class:`~repro.store.cache.ResultStore` as they go, a re-run — whether
+after a crash or a retry — resumes from the last completed unit instead
+of starting over.
+
+Job identity is content-addressed (SHA-256 of kind + canonical params),
+so resubmitting the same work is idempotent: you get the same job id and
+at most one execution of each cell, ever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.store.atomic import atomic_write_text, sweep_temp_files
+from repro.store.cache import canonical_params
+
+#: Job lifecycle states, in the order they normally occur.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+def job_id_for(kind: str, params: Dict[str, Any]) -> str:
+    """Deterministic job identity: same work → same id (idempotent submit)."""
+    payload = kind + "\x1f" + canonical_params(params)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class JobRecord:
+    """One unit of schedulable work and its durable lifecycle state."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    status: str = QUEUED
+    attempts: int = 0
+    max_attempts: int = 3
+    not_before: float = 0.0
+    error: Optional[str] = None
+    result_key: Optional[str] = None
+    progress: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "status": self.status,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "not_before": self.not_before,
+            "error": self.error,
+            "result_key": self.result_key,
+            "progress": self.progress,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JobRecord":
+        if d.get("status") not in _STATES:
+            raise ValueError(f"job record has unknown status {d.get('status')!r}")
+        return cls(
+            id=d["id"],
+            kind=d["kind"],
+            params=dict(d.get("params") or {}),
+            status=d["status"],
+            attempts=int(d.get("attempts", 0)),
+            max_attempts=int(d.get("max_attempts", 3)),
+            not_before=float(d.get("not_before", 0.0)),
+            error=d.get("error"),
+            result_key=d.get("result_key"),
+            progress=dict(d.get("progress") or {}),
+        )
+
+
+class LeaseBroken(RuntimeError):
+    """Raised on heartbeat/complete when the caller no longer holds the
+    lease (another worker broke it after the TTL lapsed)."""
+
+
+class JobQueue:
+    """The disk-backed queue: submit, claim, heartbeat, complete, retry."""
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        lease_ttl: float = 30.0,
+        retry_base: float = 1.0,
+        retry_cap: float = 60.0,
+    ):
+        self.root = os.fspath(root)
+        self.lease_ttl = float(lease_ttl)
+        self.retry_base = float(retry_base)
+        self.retry_cap = float(retry_cap)
+        self._owner = f"{socket.gethostname()}:{os.getpid()}"
+
+    # -- layout --------------------------------------------------------- #
+
+    @property
+    def jobs_dir(self) -> str:
+        return os.path.join(self.root, "jobs")
+
+    @property
+    def leases_dir(self) -> str:
+        return os.path.join(self.root, "leases")
+
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def lease_path(self, job_id: str) -> str:
+        return os.path.join(self.leases_dir, f"{job_id}.lock")
+
+    def _write(self, record: JobRecord) -> None:
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        atomic_write_text(
+            self.job_path(record.id), json.dumps(record.to_dict(), sort_keys=True, indent=1)
+        )
+
+    def _read(self, job_id: str) -> Optional[JobRecord]:
+        try:
+            with open(self.job_path(job_id), "r", encoding="utf-8") as fh:
+                return JobRecord.from_dict(json.load(fh))
+        except (OSError, json.JSONDecodeError, ValueError, KeyError):
+            return None
+
+    # -- submit --------------------------------------------------------- #
+
+    def submit(self, kind: str, params: Dict[str, Any], max_attempts: int = 3) -> JobRecord:
+        """Enqueue work; idempotent on ``(kind, params)``.
+
+        A finished or in-flight duplicate is returned as-is; a previously
+        *failed* duplicate is revived with a fresh attempt budget.
+        """
+        job_id = job_id_for(kind, params)
+        existing = self._read(job_id)
+        if existing is not None:
+            if existing.status != FAILED:
+                return existing
+            existing.status = QUEUED
+            existing.attempts = 0
+            existing.not_before = 0.0
+            existing.error = None
+            self._write(existing)
+            return existing
+        record = JobRecord(id=job_id, kind=kind, params=dict(params), max_attempts=max_attempts)
+        self._write(record)
+        return record
+
+    # -- leases --------------------------------------------------------- #
+
+    def _try_acquire_lease(self, job_id: str) -> bool:
+        os.makedirs(self.leases_dir, exist_ok=True)
+        path = self.lease_path(job_id)
+        payload = json.dumps(
+            {"owner": self._owner, "heartbeat": time.time()}, sort_keys=True
+        )
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _lease_info(self, job_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.lease_path(job_id), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    def _lease_stale(self, job_id: str) -> bool:
+        info = self._lease_info(job_id)
+        if info is None:
+            # Unreadable lease: age it by file mtime; missing file = stale.
+            try:
+                mtime = os.path.getmtime(self.lease_path(job_id))
+            except OSError:
+                return True
+            return time.time() - mtime > self.lease_ttl
+        return time.time() - float(info.get("heartbeat", 0.0)) > self.lease_ttl
+
+    def _release_lease(self, job_id: str) -> None:
+        try:
+            os.unlink(self.lease_path(job_id))
+        except OSError:
+            pass
+
+    def heartbeat(self, job_id: str) -> None:
+        """Refresh the lease; raises :class:`LeaseBroken` if this worker
+        no longer holds it (the job was handed to someone else)."""
+        info = self._lease_info(job_id)
+        if info is None or info.get("owner") != self._owner:
+            raise LeaseBroken(f"lease on {job_id} is not held by {self._owner}")
+        atomic_write_text(
+            self.lease_path(job_id),
+            json.dumps({"owner": self._owner, "heartbeat": time.time()}, sort_keys=True),
+        )
+
+    # -- claim ---------------------------------------------------------- #
+
+    def claim(self) -> Optional[JobRecord]:
+        """Take one runnable job, or ``None``.
+
+        Runnable means: ``queued`` with its backoff window expired, or
+        ``running`` under a lease whose holder stopped heartbeating for
+        longer than ``lease_ttl`` (a crashed worker — the claim breaks
+        the dead lease and re-runs the job).
+        """
+        now = time.time()
+        for record in self.jobs():
+            if record.status == QUEUED and record.not_before <= now:
+                if self._try_acquire_lease(record.id):
+                    fresh = self._read(record.id)  # re-read under the lease
+                    if fresh is None or fresh.status != QUEUED or fresh.not_before > now:
+                        self._release_lease(record.id)
+                        continue
+                    fresh.status = RUNNING
+                    self._write(fresh)
+                    return fresh
+            elif record.status == RUNNING and self._lease_stale(record.id):
+                self._release_lease(record.id)
+                if self._try_acquire_lease(record.id):
+                    fresh = self._read(record.id)
+                    if fresh is None or fresh.status != RUNNING:
+                        self._release_lease(record.id)
+                        continue
+                    fresh.attempts += 1
+                    if fresh.attempts >= fresh.max_attempts:
+                        fresh.status = FAILED
+                        fresh.error = "worker died (lease expired) and retries exhausted"
+                        self._write(fresh)
+                        self._release_lease(fresh.id)
+                        continue
+                    self._write(fresh)
+                    return fresh
+        return None
+
+    # -- outcomes ------------------------------------------------------- #
+
+    def update_progress(self, job_id: str, progress: Dict[str, Any]) -> None:
+        record = self._read(job_id)
+        if record is None:
+            return
+        record.progress.update(progress)
+        self._write(record)
+
+    def complete(self, job_id: str, result_key: Optional[str] = None) -> None:
+        record = self._read(job_id)
+        if record is None:
+            raise LeaseBroken(f"job {job_id} vanished")
+        record.status = DONE
+        record.error = None
+        record.result_key = result_key
+        self._write(record)
+        self._release_lease(job_id)
+
+    def fail(self, job_id: str, error: str) -> JobRecord:
+        """Record a failure: requeue with capped exponential backoff, or
+        park as ``failed`` once the attempt budget is spent."""
+        record = self._read(job_id)
+        if record is None:
+            raise LeaseBroken(f"job {job_id} vanished")
+        record.attempts += 1
+        record.error = error
+        if record.attempts >= record.max_attempts:
+            record.status = FAILED
+        else:
+            record.status = QUEUED
+            backoff = min(self.retry_cap, self.retry_base * (2 ** (record.attempts - 1)))
+            record.not_before = time.time() + backoff
+        self._write(record)
+        self._release_lease(job_id)
+        return record
+
+    # -- introspection and maintenance ---------------------------------- #
+
+    def jobs(self) -> List[JobRecord]:
+        """Every job record, sorted by id (stable across listings)."""
+        if not os.path.isdir(self.jobs_dir):
+            return []
+        records = []
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if name.endswith(".json"):
+                record = self._read(name[: -len(".json")])
+                if record is not None:
+                    records.append(record)
+        return records
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._read(job_id)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {state: 0 for state in _STATES}
+        for record in self.jobs():
+            tally[record.status] += 1
+        return tally
+
+    def gc(self) -> Dict[str, int]:
+        """Break stale leases, drop leases of finished jobs, and sweep
+        orphaned temp files; returns counts."""
+        broken = 0
+        if os.path.isdir(self.leases_dir):
+            for name in sorted(os.listdir(self.leases_dir)):
+                if not name.endswith(".lock"):
+                    continue
+                job_id = name[: -len(".lock")]
+                record = self._read(job_id)
+                finished = record is not None and record.status in (DONE, FAILED)
+                if finished or self._lease_stale(job_id):
+                    self._release_lease(job_id)
+                    broken += 1
+        swept = len(sweep_temp_files(self.root)) if os.path.isdir(self.root) else 0
+        return {"leases_broken": broken, "temp_files": swept}

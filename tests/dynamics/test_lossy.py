@@ -1,6 +1,8 @@
 """Failure-injection tests: algorithms under random link loss."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms.gossip import GossipAlgorithm
 from repro.algorithms.metropolis import MetropolisAlgorithm
@@ -11,7 +13,7 @@ from repro.core.execution import Execution
 from repro.dynamics.dynamic_graph import StaticAsDynamic
 from repro.dynamics.generators import random_dynamic_strongly_connected
 from repro.dynamics.lossy import LossyDynamicGraph
-from repro.graphs.builders import complete_graph
+from repro.graphs.builders import complete_graph, random_symmetric_connected
 from repro.graphs.properties import is_symmetric
 
 INPUTS = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
@@ -97,3 +99,88 @@ class TestAlgorithmsUnderLoss:
         clean = rounds_for(0.0)
         noisy = rounds_for(0.5)
         assert noisy >= clean
+
+
+lossy_params = st.tuples(
+    st.integers(min_value=3, max_value=7),        # n
+    st.integers(min_value=0, max_value=10_000),   # seed
+    st.floats(min_value=0.0, max_value=0.8),      # loss probability
+    st.integers(min_value=1, max_value=6),        # rounds to inspect
+)
+
+
+class TestSymmetryPreservationProperty:
+    """``preserve_symmetry=True`` keeps every per-round graph symmetric —
+    checked both on the raw schedule and through the compiled-plan engine,
+    whose per-round plan validation rejects asymmetric graphs for
+    ``SYMMETRIC``-model algorithms."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(lossy_params)
+    def test_every_round_graph_symmetric(self, p):
+        n, seed, loss, rounds = p
+        base = StaticAsDynamic(random_symmetric_connected(n, seed=seed))
+        lossy = LossyDynamicGraph(base, loss, seed=seed, preserve_symmetry=True)
+        for t in range(1, rounds + 1):
+            assert is_symmetric(lossy.graph_at(t))
+
+    @settings(max_examples=15, deadline=None)
+    @given(lossy_params)
+    def test_symmetric_model_engine_accepts_schedule(self, p):
+        n, seed, loss, rounds = p
+        base = StaticAsDynamic(random_symmetric_connected(n, seed=seed))
+        lossy = LossyDynamicGraph(base, loss, seed=seed, preserve_symmetry=True)
+        ex = Execution(MetropolisAlgorithm(), lossy, inputs=[float(i) for i in range(n)])
+        ex.run(rounds)  # plan compilation re-checks symmetry every round
+        assert ex.round_number == rounds
+
+
+class TestLossScheduleDeterminismProperty:
+    """For a fixed seed the loss schedule is a pure function of ``(seed, t)``
+    — identical across wrapper instances, pickle boundaries, and the
+    sequential vs process-parallel batch backends."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(lossy_params)
+    def test_schedule_survives_pickle_boundary(self, p):
+        import pickle
+
+        from repro.dynamics.dynamic_graph import PeriodicDynamicGraph
+        from repro.graphs.builders import random_strongly_connected
+
+        n, seed, loss, rounds = p
+        base = PeriodicDynamicGraph(
+            [random_strongly_connected(n, seed=seed + j) for j in range(3)]
+        )
+        lossy = LossyDynamicGraph(base, loss, seed=seed)
+        shipped = pickle.loads(pickle.dumps(lossy))  # what a pool worker sees
+        for t in range(1, rounds + 1):
+            assert shipped.graph_at(t) == lossy.graph_at(t)
+
+    def test_sequential_and_parallel_backends_agree(self):
+        from repro.core.engine import BatchJob, run_batch
+        from repro.dynamics.dynamic_graph import PeriodicDynamicGraph
+        from repro.graphs.builders import random_strongly_connected
+
+        def jobs():
+            out = []
+            for s in range(4):
+                base = PeriodicDynamicGraph(
+                    [random_strongly_connected(5, seed=s + j) for j in range(3)]
+                )
+                lossy = LossyDynamicGraph(base, 0.4, seed=s)
+                out.append(
+                    BatchJob(
+                        GossipAlgorithm(max),
+                        lossy,
+                        inputs=[s, 9, 2, 5, 3],
+                        rounds=6,
+                    )
+                )
+            return out
+
+        sequential = run_batch(jobs(), parallel=False)
+        fanned = run_batch(jobs(), parallel=True, workers=2)
+        for seq, par in zip(sequential, fanned):
+            assert par.execution.states == seq.execution.states
+            assert par.outputs == seq.outputs

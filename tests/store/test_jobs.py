@@ -1,0 +1,218 @@
+"""End-to-end tests of the durable runners: worker loop, CLI, kill -9."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.store.cache import ResultStore
+from repro.store.jobs import (
+    JOB_KINDS,
+    document_key,
+    open_queue,
+    open_store,
+    run_job,
+    run_worker,
+    table_document,
+)
+from repro.store.scheduler import DONE, FAILED, JobQueue
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    env.pop("REPRO_PARALLEL", None)  # byte-identity tests pin one backend
+    return env
+
+
+def read_doc_bytes(store: ResultStore, key: str) -> bytes:
+    with open(store.entry_path(key), "rb") as fh:
+        return fh.read()
+
+
+class TestRunWorker:
+    def test_table_job_end_to_end(self, tmp_path):
+        queue = open_queue(tmp_path)
+        store = open_store(tmp_path)
+        record = queue.submit("table1", {"n": 4, "seed": 0})
+        assert run_worker(tmp_path, queue=queue, store=store) == 1
+        finished = queue.get(record.id)
+        assert finished.status == DONE
+        assert finished.progress == {"units_done": 16, "units_total": 16}
+        doc = store.get(finished.result_key)
+        assert doc["kind"] == "table1"
+        assert doc["summary"] == {"cells": 16, "consistent": 16, "verdict": "PASS"}
+        assert finished.result_key == document_key("table1", {"n": 4, "seed": 0})
+
+    def test_rerun_serves_cells_from_store(self, tmp_path):
+        queue = open_queue(tmp_path)
+        store = open_store(tmp_path)
+        queue.submit("table1", {"n": 4, "seed": 0})
+        run_worker(tmp_path, queue=queue, store=store)
+        first_puts = store.puts
+        # Same work, fresh job identity space: force a re-run by reviving.
+        record = queue.submit("table1", {"n": 4, "seed": 0})
+        job = queue.get(record.id)
+        job.status = "queued"
+        queue._write(job)
+        run_worker(tmp_path, queue=queue, store=store)
+        assert store.hits >= 16  # every cell came from disk
+        assert store.puts == first_puts + 1  # only the document rewritten
+
+    def test_sweep_job(self, tmp_path):
+        queue = open_queue(tmp_path)
+        store = open_store(tmp_path)
+        params = {"specs": [[4, 3, 0, 12], [4, 3, 1, 12]]}
+        record = queue.submit("sweep", params)
+        assert run_worker(tmp_path, queue=queue, store=store) == 1
+        doc = store.get(queue.get(record.id).result_key)
+        assert doc["summary"] == {"checks": 2, "ok": 2, "verdict": "PASS"}
+
+    def test_unknown_kind_fails_with_error(self, tmp_path):
+        queue = open_queue(tmp_path)
+        record = queue.submit("haruspicy", {}, max_attempts=1)
+        run_worker(tmp_path, queue=queue, store=open_store(tmp_path))
+        parked = queue.get(record.id)
+        assert parked.status == FAILED
+        assert "unknown job kind" in parked.error
+
+    def test_failed_job_retries_until_budget(self, tmp_path):
+        queue = JobQueue(os.path.join(tmp_path, "queue"), retry_base=0.0)
+        record = queue.submit("haruspicy", {}, max_attempts=3)
+        processed = run_worker(tmp_path, queue=queue, store=open_store(tmp_path))
+        assert processed == 3  # claimed, failed, retried, retried, parked
+        assert queue.get(record.id).status == FAILED
+        assert queue.get(record.id).attempts == 3
+
+    def test_table_document_is_pure(self):
+        cells = [{"consistent": True}, {"consistent": False}]
+        doc = table_document("table1", 4, 0, cells)
+        assert doc["summary"]["verdict"] == "FAIL"
+        assert table_document("table1", 4, 0, cells) == doc
+        assert set(JOB_KINDS) == {"table1", "table2", "certificate", "sweep"}
+
+
+class TestKillResume:
+    """The acceptance scenario: SIGKILL a worker mid-table, resume, and
+    the final document is byte-for-byte what an uninterrupted run emits."""
+
+    @pytest.mark.slow
+    def test_sigkill_then_resume_yields_identical_document(self, tmp_path):
+        interrupted_root = tmp_path / "interrupted"
+        clean_root = tmp_path / "clean"
+        params = {"n": 4, "seed": 0}
+
+        # Uninterrupted reference run.
+        clean_queue = open_queue(clean_root)
+        clean_store = open_store(clean_root)
+        clean_record = clean_queue.submit("table2", params)
+        run_worker(clean_root, queue=clean_queue, store=clean_store)
+        clean_key = clean_queue.get(clean_record.id).result_key
+        clean_bytes = read_doc_bytes(clean_store, clean_key)
+
+        # Interrupted run: spawn a worker subprocess, kill -9 it once it
+        # has persisted at least one cell but before it can finish.
+        queue = JobQueue(os.path.join(interrupted_root, "queue"), lease_ttl=0.5)
+        store = open_store(interrupted_root)
+        record = queue.submit("table2", params)
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro", "store", "--root", str(interrupted_root), "run"],
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                progress = queue.get(record.id).progress
+                if progress.get("units_done", 0) >= 1:
+                    break
+                if worker.poll() is not None:  # finished too fast: still fine
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("worker never reported progress")
+        finally:
+            if worker.poll() is None:
+                os.kill(worker.pid, signal.SIGKILL)
+            worker.wait()
+
+        interrupted = queue.get(record.id)
+        if interrupted.status != DONE:
+            # The crash left a stale lease and a partially filled store;
+            # a fresh worker must break the lease and finish the rest.
+            time.sleep(0.6)  # let the lease age past its TTL
+            hits_before = store.hits
+            assert run_worker(interrupted_root, queue=queue, store=store) == 1
+            assert store.hits > hits_before or store.puts > 0
+        resumed = queue.get(record.id)
+        assert resumed.status == DONE
+
+        resumed_bytes = read_doc_bytes(store, resumed.result_key)
+        assert resumed.result_key == clean_key
+        assert resumed_bytes == clean_bytes
+
+
+class TestStoreCLI:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "store", *args],
+            env=_env(),
+            capture_output=True,
+            text=True,
+        )
+
+    def test_submit_run_result_status_gc(self, tmp_path):
+        root = str(tmp_path)
+        submitted = self.run_cli("--root", root, "submit", "table1", "--n", "4")
+        assert submitted.returncode == 0
+        record = json.loads(submitted.stdout)
+        assert record["kind"] == "table1" and record["status"] == "queued"
+
+        ran = self.run_cli("--root", root, "run")
+        assert ran.returncode == 0, ran.stderr
+        assert "processed 1 job(s)" in ran.stdout
+
+        result = self.run_cli("--root", root, "result", record["id"])
+        assert result.returncode == 0, result.stderr
+        doc = json.loads(result.stdout)
+        assert doc["summary"]["verdict"] == "PASS"
+
+        status = self.run_cli("--root", root, "status")
+        payload = json.loads(status.stdout)
+        assert payload["queue"]["done"] == 1
+        assert payload["store"]["entries"] == 17  # 16 cells + the document
+
+        gc = self.run_cli("--root", root, "gc")
+        assert gc.returncode == 0
+        assert json.loads(gc.stdout)["store"]["corrupt_entries"] == 0
+
+    def test_result_before_run_explains(self, tmp_path):
+        root = str(tmp_path)
+        record = json.loads(
+            self.run_cli("--root", root, "submit", "table1", "--n", "4").stdout
+        )
+        result = self.run_cli("--root", root, "result", record["id"])
+        assert result.returncode == 1
+        assert "no result document yet" in result.stderr
+
+    def test_sweep_submit_requires_specs(self, tmp_path):
+        out = self.run_cli("--root", str(tmp_path), "submit", "sweep")
+        assert out.returncode != 0
+
+    def test_sweep_submit_and_run(self, tmp_path):
+        root = str(tmp_path)
+        record = json.loads(
+            self.run_cli(
+                "--root", root, "submit", "sweep", "--spec", "4,3,0,12"
+            ).stdout
+        )
+        assert record["params"] == {"specs": [[4, 3, 0, 12]]}
+        ran = self.run_cli("--root", root, "run")
+        assert ran.returncode == 0, ran.stderr

@@ -1,0 +1,206 @@
+"""Unit tests for the lock-file-lease job queue."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.store.scheduler import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    JobRecord,
+    LeaseBroken,
+    job_id_for,
+)
+
+
+class TestIdentity:
+    def test_job_id_deterministic(self):
+        a = job_id_for("table1", {"n": 5, "seed": 0})
+        b = job_id_for("table1", {"seed": 0, "n": 5})
+        assert a == b and len(a) == 16
+
+    def test_job_id_distinguishes_work(self):
+        base = job_id_for("table1", {"n": 5})
+        assert job_id_for("table2", {"n": 5}) != base
+        assert job_id_for("table1", {"n": 6}) != base
+
+
+class TestRecord:
+    def test_round_trip(self):
+        record = JobRecord(id="abc", kind="table1", params={"n": 4}, attempts=2)
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="status"):
+            JobRecord.from_dict(
+                {"id": "x", "kind": "k", "params": {}, "status": "zombie"}
+            )
+
+
+class TestSubmitClaim:
+    def test_submit_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit("table1", {"n": 4, "seed": 0})
+        again = queue.submit("table1", {"n": 4, "seed": 0})
+        assert first.id == again.id
+        assert len(queue.jobs()) == 1
+
+    def test_claim_marks_running_and_leases(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        submitted = queue.submit("table1", {"n": 4})
+        claimed = queue.claim()
+        assert claimed.id == submitted.id
+        assert queue.get(claimed.id).status == RUNNING
+        assert os.path.exists(queue.lease_path(claimed.id))
+        assert queue.claim() is None  # nothing else to take
+
+    def test_other_worker_cannot_steal_fresh_lease(self, tmp_path):
+        queue_a = JobQueue(tmp_path, lease_ttl=60.0)
+        queue_b = JobQueue(tmp_path, lease_ttl=60.0)
+        queue_a.submit("table1", {"n": 4})
+        assert queue_a.claim() is not None
+        assert queue_b.claim() is None
+
+    def test_backoff_window_respected(self, tmp_path):
+        queue = JobQueue(tmp_path, retry_base=60.0)
+        record = queue.submit("table1", {"n": 4}, max_attempts=3)
+        queue.claim()
+        queue.fail(record.id, "boom")
+        refreshed = queue.get(record.id)
+        assert refreshed.status == QUEUED
+        assert refreshed.not_before > time.time() + 30
+        assert queue.claim() is None  # backoff still in force
+
+    def test_completed_jobs_stay_done(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit("table1", {"n": 4})
+        queue.claim()
+        queue.complete(record.id, result_key="deadbeef")
+        done = queue.get(record.id)
+        assert done.status == DONE and done.result_key == "deadbeef"
+        assert not os.path.exists(queue.lease_path(record.id))
+        assert queue.submit("table1", {"n": 4}).status == DONE  # not revived
+        assert queue.claim() is None
+
+
+class TestFailureAndRetry:
+    def test_capped_exponential_backoff(self, tmp_path):
+        queue = JobQueue(tmp_path, retry_base=1.0, retry_cap=3.0)
+        record = queue.submit("table1", {"n": 4}, max_attempts=10)
+        delays = []
+        for _ in range(4):
+            job = queue.get(record.id)
+            job.status = QUEUED
+            job.not_before = 0.0
+            queue._write(job)
+            claimed = queue.claim()
+            before = time.time()
+            queue.fail(claimed.id, "boom")
+            delays.append(queue.get(record.id).not_before - before)
+        assert delays[0] == pytest.approx(1.0, abs=0.5)
+        assert delays[1] == pytest.approx(2.0, abs=0.5)
+        assert delays[2] == pytest.approx(3.0, abs=0.5)  # capped
+        assert delays[3] == pytest.approx(3.0, abs=0.5)  # stays capped
+
+    def test_attempt_budget_parks_as_failed(self, tmp_path):
+        queue = JobQueue(tmp_path, retry_base=0.0)
+        record = queue.submit("table1", {"n": 4}, max_attempts=2)
+        queue.claim()
+        queue.fail(record.id, "first")
+        assert queue.get(record.id).status == QUEUED
+        queue.claim()
+        queue.fail(record.id, "second")
+        parked = queue.get(record.id)
+        assert parked.status == FAILED
+        assert parked.error == "second"
+        assert queue.claim() is None
+
+    def test_resubmit_revives_failed_job(self, tmp_path):
+        queue = JobQueue(tmp_path, retry_base=0.0)
+        record = queue.submit("table1", {"n": 4}, max_attempts=1)
+        queue.claim()
+        queue.fail(record.id, "boom")
+        assert queue.get(record.id).status == FAILED
+        revived = queue.submit("table1", {"n": 4})
+        assert revived.status == QUEUED and revived.attempts == 0
+        assert queue.claim() is not None
+
+
+class TestCrashRecovery:
+    def test_stale_lease_broken_and_job_retaken(self, tmp_path):
+        dead = JobQueue(tmp_path, lease_ttl=0.05)
+        record = dead.submit("table1", {"n": 4}, max_attempts=3)
+        assert dead.claim() is not None
+        # Simulate kill -9: the lease file stays, no heartbeat ever comes.
+        time.sleep(0.1)
+        survivor = JobQueue(tmp_path, lease_ttl=0.05)
+        retaken = survivor.claim()
+        assert retaken is not None and retaken.id == record.id
+        assert retaken.attempts == 1
+        assert retaken.status == RUNNING
+
+    def test_dead_worker_with_spent_budget_parks_job(self, tmp_path):
+        dead = JobQueue(tmp_path, lease_ttl=0.05)
+        record = dead.submit("table1", {"n": 4}, max_attempts=1)
+        assert dead.claim() is not None
+        time.sleep(0.1)
+        survivor = JobQueue(tmp_path, lease_ttl=0.05)
+        assert survivor.claim() is None
+        assert survivor.get(record.id).status == FAILED
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_ttl=0.3)
+        record = queue.submit("table1", {"n": 4})
+        queue.claim()
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.heartbeat(record.id)
+        other = JobQueue(tmp_path, lease_ttl=0.3)
+        assert other.claim() is None  # heartbeats kept it fresh
+
+    def test_heartbeat_by_non_owner_raises(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit("table1", {"n": 4})
+        queue.claim()
+        impostor = JobQueue(tmp_path)
+        impostor._owner = "elsewhere:1"
+        with pytest.raises(LeaseBroken):
+            impostor.heartbeat(record.id)
+
+    def test_torn_job_record_is_skipped_not_fatal(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit("table1", {"n": 4})
+        with open(queue.job_path(record.id), "w") as fh:
+            fh.write("{torn")
+        assert queue.jobs() == []
+        assert queue.claim() is None
+
+
+class TestMaintenance:
+    def test_counts(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("table1", {"n": 4})
+        queue.submit("table2", {"n": 5})
+        claimed = queue.claim()
+        queue.complete(claimed.id)
+        assert queue.counts() == {"queued": 1, "running": 0, "done": 1, "failed": 0}
+
+    def test_gc_breaks_stale_and_finished_leases(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_ttl=0.05)
+        record = queue.submit("table1", {"n": 4})
+        queue.claim()
+        time.sleep(0.1)
+        report = queue.gc()
+        assert report["leases_broken"] == 1
+        assert not os.path.exists(queue.lease_path(record.id))
+
+    def test_update_progress(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit("table1", {"n": 4})
+        queue.update_progress(record.id, {"units_done": 3, "units_total": 16})
+        assert queue.get(record.id).progress == {"units_done": 3, "units_total": 16}
