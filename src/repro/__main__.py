@@ -49,9 +49,28 @@ def trace_main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="random-graph seed")
     parser.add_argument("--rounds", type=int, default=20, help="rounds to trace")
     parser.add_argument(
+        "--graph",
+        choices=["random", "ring", "hypercube", "torus"],
+        default="random",
+        help=(
+            "static topology family: a seeded random strongly connected "
+            "graph, or a symmetric family (ring/hypercube/torus) whose "
+            "minimum base is small enough for --quotient to kick in"
+        ),
+    )
+    parser.add_argument(
         "--dynamic",
         action="store_true",
         help="run on a seeded random dynamic network instead of a static one",
+    )
+    parser.add_argument(
+        "--quotient",
+        action="store_true",
+        help=(
+            "simulate the minimum base and lift the trajectory "
+            "(quotient-accelerated execution; falls back to a direct run "
+            "when the Lifting lemma does not apply)"
+        ),
     )
     parser.add_argument(
         "--recurring",
@@ -77,6 +96,7 @@ def trace_main(argv=None) -> int:
         current_backend,
         network_fingerprint,
     )
+    from repro.core.engine.quotient import publish_quotient_metrics, quotient_stats
     from repro.core.engine.trace import trace_execution, write_jsonl
     from repro.core.execution import Execution
     from repro.core.memo import memo_stats, publish_memo_metrics
@@ -89,33 +109,70 @@ def trace_main(argv=None) -> int:
         from repro.dynamics.generators import random_dynamic_strongly_connected
 
         network = random_dynamic_strongly_connected(args.n, seed=args.seed)
+    elif args.graph == "ring":
+        from repro.graphs.builders import bidirectional_ring
+
+        network = bidirectional_ring(args.n)
+    elif args.graph == "hypercube":
+        from repro.graphs.builders import hypercube
+
+        network = hypercube(max(args.n - 1, 1).bit_length())
+    elif args.graph == "torus":
+        from repro.graphs.builders import torus
+
+        side = max(2, round(args.n ** 0.5))
+        network = torus(side, side)
     else:
         from repro.graphs.builders import random_strongly_connected
 
         network = random_strongly_connected(args.n, seed=args.seed)
+    n = args.n if args.dynamic or args.recurring is not None else network.n
 
+    # The symmetric families get fibrewise-constant inputs (the minimum
+    # base of a vertex-transitive graph is a single vertex, and the
+    # Lifting lemma needs inputs constant on fibres); the random graphs
+    # keep per-vertex inputs.  This depends only on --graph, never on
+    # --quotient, so the flag changes execution strategy, not the run.
     if args.algorithm == "gossip":
         algorithm = GossipAlgorithm(max)
-        inputs = [(v * 7919 + args.seed) % 101 for v in range(args.n)]
+        if args.graph != "random" and not args.dynamic and args.recurring is None:
+            inputs = [(args.seed * 7919) % 101] * n
+        else:
+            inputs = [(v * 7919 + args.seed) % 101 for v in range(n)]
     else:
         algorithm = PushSumAlgorithm()
-        inputs = [float(v + 1) for v in range(args.n)]
+        if args.graph != "random" and not args.dynamic and args.recurring is None:
+            inputs = [float(args.seed % 7 + 1)] * n
+        else:
+            inputs = [float(v + 1) for v in range(n)]
 
     baseline = memo_stats()
-    execution = Execution(algorithm, network, inputs=inputs)
+    quotient_baseline = quotient_stats()
+    execution = Execution(algorithm, network, inputs=inputs, quotient=args.quotient)
     tracer = trace_execution(execution, rounds=args.rounds)
     # This run's memo hits/misses (delta from the baseline snapshot) go
-    # into the summary metrics as memo_<cache>_hits / _misses counters.
+    # into the summary metrics as memo_<cache>_hits / _misses counters,
+    # and likewise the quotient layer's activation/fallback/lift counters.
     publish_memo_metrics(tracer.registry, baseline)
+    publish_quotient_metrics(tracer.registry, quotient_baseline)
 
     extra = {"algorithm": args.algorithm, "dynamic": args.dynamic}
     if args.recurring is not None:
         extra["recurring"] = args.recurring
+    if args.graph != "random":
+        extra["graph"] = args.graph
+    if args.quotient:
+        extra["quotient"] = {
+            "active": bool(getattr(execution, "quotient_active", False)),
+            "base_n": getattr(execution, "base_n", None),
+            "full_n": n,
+            "fallback_reason": getattr(execution, "quotient_fallback_reason", None),
+        }
 
     manifest = Manifest(
         kind="trace",
         seed=args.seed,
-        n=args.n,
+        n=n,
         rounds=args.rounds,
         graph_hash=network_fingerprint(network),
         backend=current_backend(),
@@ -172,6 +229,15 @@ def store_main(argv=None) -> int:
     p_submit.add_argument(
         "--max-attempts", type=int, default=3, help="retry budget before parking as failed"
     )
+    p_submit.add_argument(
+        "--quotient",
+        action="store_true",
+        help=(
+            "run the job's cells quotient-accelerated (table jobs only; "
+            "cell payloads are identical either way, so the store keys "
+            "do not change)"
+        ),
+    )
 
     p_run = sub.add_parser("run", help="worker loop: claim and run jobs")
     p_run.add_argument(
@@ -206,6 +272,8 @@ def store_main(argv=None) -> int:
         else:
             default_n = 5 if args.kind == "table2" else 6
             params = {"n": args.n if args.n is not None else default_n, "seed": args.seed}
+        if args.quotient:
+            params["quotient"] = True
         record = queue.submit(args.kind, params, max_attempts=args.max_attempts)
         print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -304,6 +372,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="emit a machine-readable reproduction certificate instead of tables",
     )
+    parser.add_argument(
+        "--quotient",
+        action="store_true",
+        help=(
+            "quotient-accelerated cells: simulate each network's minimum "
+            "base and lift the trajectory (results are identical; cells "
+            "where the Lifting lemma does not apply fall back to direct "
+            "execution)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.json:
@@ -314,22 +392,32 @@ def main(argv=None) -> int:
             seed=args.seed,
             parallel=True if args.parallel else None,
             workers=args.workers,
+            quotient=True if args.quotient else None,
         )
         print(json.dumps(doc, indent=2))
         return 0 if doc["summary"]["verdict"] == "PASS" else 1
 
     parallel = True if args.parallel else None  # None keeps the env default
+    quotient = True if args.quotient else None  # None keeps the env default
     failures = 0
     if args.table in ("1", "both"):
         results = reproduce_table1(
-            n=args.n, seed=args.seed, parallel=parallel, workers=args.workers
+            n=args.n,
+            seed=args.seed,
+            parallel=parallel,
+            workers=args.workers,
+            quotient=quotient,
         )
         print(format_results(results, "Table 1 — static strongly connected networks"))
         failures += sum(not r.consistent for r in results)
         print()
     if args.table in ("2", "both"):
         results = reproduce_table2(
-            n=min(args.n, 6), seed=args.seed, parallel=parallel, workers=args.workers
+            n=min(args.n, 6),
+            seed=args.seed,
+            parallel=parallel,
+            workers=args.workers,
+            quotient=quotient,
         )
         print(format_results(results, "Table 2 — dynamic networks with finite dynamic diameter"))
         failures += sum(not r.consistent for r in results)

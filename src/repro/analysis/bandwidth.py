@@ -137,12 +137,24 @@ def traced_bytes_curve(execution: Execution, rounds: int) -> List[Tuple[int, int
 
 
 def _bandwidth_task(spec) -> List[int]:
-    algorithm_factory, network_factory, inputs, rounds = spec
-    execution = Execution(algorithm_factory(), network_factory(), inputs=list(inputs))
+    from repro.core.engine.quotient import quotient_enabled_by_env
+
+    algorithm_factory, network_factory, inputs, rounds = spec[:4]
+    quotient = spec[4] if len(spec) > 4 else None
+    if quotient is None:
+        quotient = quotient_enabled_by_env()
+    execution = Execution(
+        algorithm_factory(),
+        network_factory(),
+        inputs=list(inputs),
+        quotient=quotient,
+    )
     return bandwidth_curve(execution, rounds)
 
 
-def bandwidth_sweep(specs, parallel: bool = False, workers=None) -> List[List[int]]:
+def bandwidth_sweep(
+    specs, parallel: bool = False, workers=None, quotient=None
+) -> List[List[int]]:
     """Bandwidth curves for a grid of executions, in spec order.
 
     ``specs`` is a sequence of
@@ -151,8 +163,14 @@ def bandwidth_sweep(specs, parallel: bool = False, workers=None) -> List[List[in
     stay cheap to ship to pool workers.  The runs are independent, so
     ``parallel=True`` fans them across a process pool
     (:func:`repro.core.engine.parallel.parallel_map`).
+
+    ``quotient=True`` runs each execution quotient-accelerated
+    (:class:`~repro.core.engine.quotient.QuotientExecution`); ``None``
+    defers to ``REPRO_QUOTIENT``.  Worst-case message size is a per-round
+    maximum over states, and the fibres cover every base class, so
+    base-run curves equal full-run curves exactly.
     """
-    specs = [tuple(s) for s in specs]
+    specs = [tuple(s) + (quotient,) for s in specs]
     if parallel:
         from repro.core.engine.parallel import parallel_map
 

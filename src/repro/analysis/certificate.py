@@ -49,6 +49,7 @@ def reproduction_certificate(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     store=None,
+    quotient: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Run both tables and assemble the certificate document.
 
@@ -58,7 +59,10 @@ def reproduction_certificate(
     while the per-cell manifests stay backend-free (and therefore
     bit-identical across backends).  ``store`` follows the same contract
     as the table functions: individual cells are served from the durable
-    result store when warm and persisted when cold.
+    result store when warm and persisted when cold.  ``quotient`` follows
+    the tables' contract too (``None`` defers to ``REPRO_QUOTIENT``);
+    quotient and direct cells are byte-identical, so it never appears in
+    the document itself.
     """
     from repro.core.engine.batch import parallel_enabled_by_env
 
@@ -66,13 +70,23 @@ def reproduction_certificate(
     table1 = [
         _cell_record(r)
         for r in reproduce_table1(
-            n=n, seed=seed, parallel=parallel, workers=workers, store=store
+            n=n,
+            seed=seed,
+            parallel=parallel,
+            workers=workers,
+            store=store,
+            quotient=quotient,
         )
     ]
     table2 = [
         _cell_record(r)
         for r in reproduce_table2(
-            n=min(n, 6), seed=seed, parallel=parallel, workers=workers, store=store
+            n=min(n, 6),
+            seed=seed,
+            parallel=parallel,
+            workers=workers,
+            store=store,
+            quotient=quotient,
         )
     ]
     all_cells = table1 + table2

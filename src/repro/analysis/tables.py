@@ -168,9 +168,13 @@ def _exact_job(algorithm, network, inputs, target, rounds, label="") -> BatchJob
     )
 
 
-def _run_exact(algorithm, network, inputs, target, rounds, plan_cache=None) -> bool:
+def _run_exact(
+    algorithm, network, inputs, target, rounds, plan_cache=None, quotient=None
+) -> bool:
     (result,) = run_batch(
-        [_exact_job(algorithm, network, inputs, target, rounds)], plan_cache=plan_cache
+        [_exact_job(algorithm, network, inputs, target, rounds)],
+        plan_cache=plan_cache,
+        quotient=quotient,
     )
     return result.converged
 
@@ -219,7 +223,18 @@ def _cell_manifest(
     seed: int,
     rounds: int,
 ) -> Manifest:
-    """The provenance record for one table cell's probes."""
+    """The provenance record for one table cell's probes.
+
+    Static cells additionally record the quotient geometry — minimum-base
+    size versus full size.  The sizes are pure content of the probe graph
+    (computed via the memo layer whether or not the cell actually ran on
+    the quotient), so the manifest — and hence the cell's stored payload —
+    stays byte-identical across quotient-on and quotient-off runs.
+    """
+    extra: Dict[str, Any] = {}
+    if isinstance(network, DiGraph):
+        mb = memoized_minimum_base(network)
+        extra["quotient"] = {"base_n": mb.base.n, "full_n": network.n}
     return Manifest(
         kind="table2-cell" if dynamic else "table1-cell",
         seed=seed,
@@ -228,6 +243,7 @@ def _cell_manifest(
         graph_hash=network_fingerprint(network),
         model=model.value,
         knowledge=knowledge.value,
+        extra=extra,
     )
 
 
@@ -252,12 +268,16 @@ def run_static_cell(
     n: int = 6,
     seed: int = 0,
     plan_cache: Optional[PlanCache] = None,
+    quotient: Optional[bool] = None,
 ) -> CellResult:
     """Reproduce one Table 1 cell experimentally.
 
     All positive probes of the cell go through :func:`run_batch` on a
     shared ``plan_cache``, so the cell's graph is compiled into a
-    delivery plan once for every probe that runs on it.
+    delivery plan once for every probe that runs on it.  ``quotient``
+    opts the probes into (or out of) quotient-accelerated execution;
+    ``None`` defers to ``REPRO_QUOTIENT``.  Cell results and manifests
+    are identical either way.
     """
     expected = computable_class(model, knowledge, dynamic=False)
     details: List[str] = []
@@ -275,6 +295,7 @@ def run_static_cell(
             MAXIMUM(inputs),
             _STATIC_ROUNDS,
             plan_cache=plan_cache,
+            quotient=quotient,
         )
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         refuted_freq = _broadcast_refutation(AVERAGE, knowledge)
@@ -303,6 +324,7 @@ def run_static_cell(
             for f, name in probes
         ],
         plan_cache=plan_cache,
+        quotient=quotient,
     )
     verdicts = {r.label: r.converged for r in results}
     got_max, got_avg = verdicts["max"], verdicts["average"]
@@ -336,6 +358,7 @@ def run_dynamic_cell(
     n: int = 5,
     seed: int = 0,
     plan_cache: Optional[PlanCache] = None,
+    quotient: Optional[bool] = None,
 ) -> CellResult:
     """Reproduce one Table 2 cell experimentally.
 
@@ -354,7 +377,8 @@ def run_dynamic_cell(
         dyn = random_dynamic_strongly_connected(n, seed=seed)
         got_max = _run_exact(GossipAlgorithm(max), dyn,
                              [v[0] for v in run_inputs] if leader else run_inputs,
-                             MAXIMUM(inputs), _STATIC_ROUNDS, plan_cache=plan_cache)
+                             MAXIMUM(inputs), _STATIC_ROUNDS, plan_cache=plan_cache,
+                             quotient=quotient)
         refuted_freq = _broadcast_refutation(AVERAGE, knowledge)
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         details.append(
@@ -389,6 +413,7 @@ def run_dynamic_cell(
                 ),
             ],
             plan_cache=plan_cache,
+            quotient=quotient,
         )
         got_max, avg_report = max_result.converged, avg_result.report
         refuted_sum = _sum_refutation(model)
@@ -450,6 +475,7 @@ def run_dynamic_cell(
             for f, name in probes
         ],
         plan_cache=plan_cache,
+        quotient=quotient,
     )
     verdicts = {r.label: r.converged for r in results}
     got_max, got_avg = verdicts["max"], verdicts["average"]
@@ -500,17 +526,23 @@ def compute_cell(
     seed: int,
     plan_cache: Optional[PlanCache] = None,
     store=None,
+    quotient: Optional[bool] = None,
 ) -> CellResult:
     """One table cell, served from the durable result store when warm.
 
     ``store`` is a :class:`repro.store.cache.ResultStore` (or ``None``
     for compute-always).  Store keys bind the cell parameters *and* the
     engine generation; a corrupted entry is quarantined and recomputed,
-    never served.
+    never served.  ``quotient`` is deliberately *not* part of the store
+    key: quotient-accelerated and direct probes produce byte-identical
+    payloads (that is the Lifting lemma's contract, pinned by the
+    property suite), so either mode may serve the other's cache.
     """
     def compute() -> CellResult:
         runner = run_dynamic_cell if dynamic else run_static_cell
-        return runner(model, knowledge, n=n, seed=seed, plan_cache=plan_cache)
+        return runner(
+            model, knowledge, n=n, seed=seed, plan_cache=plan_cache, quotient=quotient
+        )
 
     if store is None:
         return compute()
@@ -537,18 +569,26 @@ def _cell_task(spec) -> CellResult:
 
     The spec optionally carries a store root (sixth element) so pool
     workers consult and fill the same on-disk result store the parent
-    uses (atomic writes make concurrent fills safe)."""
+    uses (atomic writes make concurrent fills safe), and the quotient
+    override (seventh element)."""
     dynamic, model, knowledge, n, seed = spec[:5]
     store = None
     if len(spec) > 5 and spec[5]:
         from repro.store.cache import ResultStore
 
         store = ResultStore(spec[5])
-    return compute_cell(dynamic, model, knowledge, n, seed, store=store)
+    quotient = spec[6] if len(spec) > 6 else None
+    return compute_cell(
+        dynamic, model, knowledge, n, seed, store=store, quotient=quotient
+    )
 
 
 def _run_cells(
-    specs, parallel: Optional[bool], workers: Optional[int], store=None
+    specs,
+    parallel: Optional[bool],
+    workers: Optional[int],
+    store=None,
+    quotient: Optional[bool] = None,
 ) -> List[CellResult]:
     """Run table cells sequentially (one shared plan cache) or fanned
     across a process pool (each worker keeps its own cache); ``store``
@@ -560,11 +600,14 @@ def _run_cells(
         parallel = parallel_enabled_by_env()
     if parallel:
         root = getattr(store, "root", None)
-        return parallel_map(_cell_task, [s + (root,) for s in specs], workers=workers)
+        return parallel_map(
+            _cell_task, [s + (root, quotient) for s in specs], workers=workers
+        )
     plan_cache = PlanCache()
     return [
         compute_cell(
-            dynamic, model, knowledge, n, seed, plan_cache=plan_cache, store=store
+            dynamic, model, knowledge, n, seed, plan_cache=plan_cache, store=store,
+            quotient=quotient,
         )
         for dynamic, model, knowledge, n, seed in specs
     ]
@@ -576,6 +619,7 @@ def reproduce_table1(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     store=None,
+    quotient: Optional[bool] = None,
 ) -> List[CellResult]:
     """Run all 16 static cells.
 
@@ -589,11 +633,16 @@ def reproduce_table1(
     :class:`repro.store.cache.ResultStore` (or a path) and every cell is
     served from disk when already computed, persisted when not —
     ``store=None`` defers to the ``REPRO_STORE`` environment variable
-    (no store when unset)."""
+    (no store when unset).
+
+    ``quotient=True`` runs every probe quotient-accelerated (identical
+    cells, faster rounds on symmetric probe graphs); ``None`` defers to
+    ``REPRO_QUOTIENT``."""
     from repro.store.cache import resolve_store
 
     return _run_cells(
-        table_specs(False, n, seed), parallel, workers, store=resolve_store(store)
+        table_specs(False, n, seed), parallel, workers, store=resolve_store(store),
+        quotient=quotient,
     )
 
 
@@ -603,13 +652,17 @@ def reproduce_table2(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     store=None,
+    quotient: Optional[bool] = None,
 ) -> List[CellResult]:
-    """Run all 12 dynamic cells; same ``parallel``/``store`` contract as
-    :func:`reproduce_table1`."""
+    """Run all 12 dynamic cells; same ``parallel``/``store``/``quotient``
+    contract as :func:`reproduce_table1` (dynamic probes fall back to
+    direct execution — the knob is still honored for the static
+    refutation probes)."""
     from repro.store.cache import resolve_store
 
     return _run_cells(
-        table_specs(True, n, seed), parallel, workers, store=resolve_store(store)
+        table_specs(True, n, seed), parallel, workers, store=resolve_store(store),
+        quotient=quotient,
     )
 
 

@@ -50,6 +50,13 @@ class BatchJob:
     initial_states: Optional[Sequence[Any]] = None
     scramble_seed: Optional[int] = 0
     check_model: bool = True
+    #: ``True``/``False`` forces quotient-accelerated execution on/off for
+    #: this job; ``None`` defers to ``REPRO_QUOTIENT=1`` in the environment.
+    #: Quotient runs fall back to direct execution whenever the Lifting
+    #: lemma does not apply (see :mod:`repro.core.engine.quotient`), so
+    #: results are identical either way — only the speed changes.
+    quotient: Optional[bool] = None
+    quotient_ratio: Optional[float] = None
     runner: str = "rounds"
     rounds: int = 0
     patience: int = 5
@@ -118,6 +125,11 @@ def _execute_job(job: BatchJob, cache: PlanCache) -> BatchResult:
     from repro.core.execution import Execution
     from repro.core.metrics import euclidean_metric
 
+    from repro.core.engine.quotient import quotient_enabled_by_env
+
+    quotient = job.quotient
+    if quotient is None:
+        quotient = quotient_enabled_by_env()
     execution = Execution(
         job.algorithm,
         job.network,
@@ -125,6 +137,8 @@ def _execute_job(job: BatchJob, cache: PlanCache) -> BatchResult:
         initial_states=job.initial_states,
         scramble_seed=job.scramble_seed,
         check_model=job.check_model,
+        quotient=quotient,
+        quotient_ratio=job.quotient_ratio,
     )
     execution.share_plan_cache(cache)
     plan_hooks = []
@@ -179,6 +193,7 @@ def run_batch(
     max_retries: int = 1,
     job_timeout: Optional[float] = None,
     chunk_size: Optional[int] = None,
+    quotient: Optional[bool] = None,
 ) -> List[BatchResult]:
     """Run every job, sharing compiled delivery plans across the batch.
 
@@ -193,7 +208,19 @@ def run_batch(
     sequential path and come back in job order either way.  The default
     ``parallel=None`` resolves to the ``REPRO_PARALLEL=1`` environment
     switch (off otherwise).
+
+    ``quotient`` (``True``/``False``) overrides the quotient-execution
+    default for every job that did not set its own ``BatchJob.quotient``;
+    ``None`` leaves the per-job settings (and thus the ``REPRO_QUOTIENT``
+    environment default) in force.
     """
+    if quotient is not None:
+        from dataclasses import replace
+
+        jobs = [
+            replace(job, quotient=quotient) if job.quotient is None else job
+            for job in jobs
+        ]
     if parallel is None:
         parallel = parallel_enabled_by_env()
     if parallel:

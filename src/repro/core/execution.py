@@ -55,7 +55,29 @@ class Execution:
         Verify per round that the network satisfies the model's class
         constraints (symmetry for ``SYMMETRIC``, staticity for
         ``OUTPUT_PORT_AWARE``).
+    quotient:
+        ``Execution(..., quotient=True)`` constructs a
+        :class:`~repro.core.engine.quotient.QuotientExecution` instead —
+        same façade, same trajectory, but rounds run on the memoized
+        minimum base and states lift lazily (falling back to direct
+        execution when the Lifting lemma does not apply; see that module
+        for the activation rules).  ``quotient_ratio`` overrides its
+        base-size activation threshold.
     """
+
+    def __new__(
+        cls,
+        *args: Any,
+        quotient: bool = False,
+        quotient_ratio: Optional[float] = None,
+        **kwargs: Any,
+    ):
+        if cls is Execution and quotient:
+            # Imported lazily: the quotient layer subclasses this façade.
+            from repro.core.engine.quotient import QuotientExecution
+
+            return super().__new__(QuotientExecution)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -65,7 +87,11 @@ class Execution:
         initial_states: Optional[Sequence[Any]] = None,
         scramble_seed: Optional[int] = 0,
         check_model: bool = True,
+        *,
+        quotient: bool = False,
+        quotient_ratio: Optional[float] = None,
     ):
+        del quotient, quotient_ratio  # consumed by __new__ / the subclass
         self.algorithm = algorithm
         if isinstance(network, DiGraph):
             self.network: DynamicGraph = StaticAsDynamic(network)

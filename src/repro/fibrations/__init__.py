@@ -25,7 +25,14 @@ from repro.fibrations.minimum_base import (
     MinimumBase,
 )
 from repro.fibrations.prime import is_fibration_prime
-from repro.fibrations.lifting import lift_valuation, lift_global_state, lifted_function
+from repro.fibrations.lifting import (
+    lift_global_state,
+    lift_snapshot,
+    lift_valuation,
+    lifted_function,
+    pushdown_global_state,
+    pushdown_valuation,
+)
 
 __all__ = [
     "GraphMorphism",
@@ -38,11 +45,14 @@ __all__ = [
     "is_fibration",
     "is_fibration_prime",
     "lift_global_state",
+    "lift_snapshot",
     "lift_valuation",
     "lifted_function",
     "minimum_base",
     "morphism_from_vertex_map",
     "payloads_equal",
+    "pushdown_global_state",
+    "pushdown_valuation",
     "quotient_by_partition",
     "ring_collapse",
     "same_partition",

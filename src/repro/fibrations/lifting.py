@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Sequence
 
+from repro.fibrations.keys import payloads_equal
 from repro.fibrations.morphism import GraphMorphism
 
 
@@ -48,7 +49,13 @@ def lifted_function(phi: GraphMorphism, f: Callable[[Sequence[Any]], Any]) -> Ca
 
 
 def pushdown_valuation(phi: GraphMorphism, values: Sequence[Any]) -> List[Any]:
-    """The base valuation whose lift is ``values``; raises if not fibrewise-constant."""
+    """The base valuation whose lift is ``values``; raises if not fibrewise-constant.
+
+    Fibre payloads are compared through the shared
+    :func:`~repro.fibrations.keys.payloads_equal` convention (equality with
+    a canonical-repr fallback), so ``Fraction(2, 1)`` and ``2`` on the same
+    fibre are one constant — raw ``repr`` comparison used to split them.
+    """
     if len(values) != phi.source_graph.n:
         raise ValueError(
             f"valuation has {len(values)} entries for graph with {phi.source_graph.n} vertices"
@@ -58,9 +65,52 @@ def pushdown_valuation(phi: GraphMorphism, values: Sequence[Any]) -> List[Any]:
     for i in phi.source_graph.vertices():
         j = phi(i)
         if seen[j]:
-            if repr(out[j]) != repr(values[i]):
+            if not payloads_equal(out[j], values[i]):
                 raise ValueError(f"valuation is not constant on the fibre of base vertex {j}")
         else:
             out[j] = values[i]
             seen[j] = True
     return out
+
+
+def pushdown_global_state(phi: GraphMorphism, state: Sequence[Any]) -> List[Any]:
+    """The base global state whose lift is ``state``.
+
+    Identical to :func:`pushdown_valuation`; the separate name mirrors the
+    :func:`lift_valuation` / :func:`lift_global_state` pair.  Raises
+    ``ValueError`` when the configuration is not fibrewise-constant — i.e.
+    when it is *not* in the image of the lift and no base run can reach it.
+    """
+    return pushdown_valuation(phi, state)
+
+
+def lift_snapshot(phi: GraphMorphism, base_snapshot):
+    """Lift a base-run :class:`~repro.store.snapshot.Snapshot` along ``φ``.
+
+    Takes a snapshot of an execution on the *base* graph ``B`` (so
+    ``base_snapshot.n == phi.target_graph.n``) and returns a snapshot of
+    the lifted execution on ``G``: same algorithm, same round number, same
+    scramble-stream position, states copied fibrewise and re-digested.
+
+    Lemma 3.1 makes the lifted snapshot a genuine checkpoint of a run on
+    ``G`` — with one caveat: the scramble stream it carries is the *base*
+    run's, so a restore only stays bit-identical to a direct full-graph
+    run when the algorithm's transition is invariant under inbox order
+    (as every anonymous algorithm must be).
+    """
+    from repro.store.snapshot import Snapshot, encode_states, state_digest
+
+    if base_snapshot.n != phi.target_graph.n:
+        raise ValueError(
+            f"snapshot has {base_snapshot.n} agents, base graph has {phi.target_graph.n} vertices"
+        )
+    lifted = lift_global_state(phi, base_snapshot.states())
+    return Snapshot(
+        algorithm=base_snapshot.algorithm,
+        n=phi.source_graph.n,
+        round_number=base_snapshot.round_number,
+        states_blob=encode_states(lifted),
+        states_digest=state_digest(lifted),
+        rng_state=base_snapshot.rng_state,
+        tracers=list(base_snapshot.tracers),
+    )

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.engine import ENGINE_VERSION
 from repro.store.atomic import atomic_write_text, sweep_temp_files
+from repro.store.snapshot import SNAPSHOT_CODEC_VERSION
 
 #: Environment variable naming a store root that every harness entry
 #: point (tables, sweeps, certificates, the CLI) consults by default.
@@ -126,6 +127,7 @@ class ResultStore:
             "kind": kind,
             "params": params or {},
             "engine_version": ENGINE_VERSION,
+            "snapshot_codec": SNAPSHOT_CODEC_VERSION,
             "payload": payload,
             "payload_sha256": self._digest(payload),
         }
@@ -216,11 +218,14 @@ class ResultStore:
 
     def gc(self, prune_versions: bool = True) -> Dict[str, int]:
         """Reclaim junk: orphaned temp files, corrupt entries, and (by
-        default) entries written by other engine generations.  Returns
+        default) entries written by other engine generations or under an
+        older snapshot codec (pre-quotient entries lack the
+        ``snapshot_codec`` stamp entirely and are pruned too).  Returns
         counts of what was removed."""
         removed_tmp = len(sweep_temp_files(self.root)) if os.path.isdir(self.root) else 0
         removed_corrupt = 0
         removed_stale = 0
+        removed_codec = 0
         results = self.results_dir
         if os.path.isdir(results):
             for shard in sorted(os.listdir(results)):
@@ -248,10 +253,20 @@ class ResultStore:
                             removed_stale += 1
                         except OSError:  # pragma: no cover
                             pass
+                    elif (
+                        prune_versions
+                        and entry.get("snapshot_codec") != SNAPSHOT_CODEC_VERSION
+                    ):
+                        try:
+                            os.unlink(path)
+                            removed_codec += 1
+                        except OSError:  # pragma: no cover
+                            pass
         return {
             "temp_files": removed_tmp,
             "corrupt_entries": removed_corrupt,
             "stale_versions": removed_stale,
+            "stale_codecs": removed_codec,
         }
 
     def __repr__(self) -> str:

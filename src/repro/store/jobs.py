@@ -77,10 +77,16 @@ def _run_table_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> st
     dynamic = record.kind == "table2"
     n = int(record.params.get("n", 5 if dynamic else 6))
     seed = int(record.params.get("seed", 0))
+    # Quotient acceleration changes how cells are computed, never what
+    # they contain, so it rides in the job params but stays out of the
+    # document key / cell store keys — warm caches serve both modes.
+    quotient = record.params.get("quotient")
     specs = table_specs(dynamic, n, seed)
     payloads: List[Dict[str, Any]] = []
     for done, (dyn, model, knowledge, cell_n, cell_seed) in enumerate(specs, start=1):
-        result = compute_cell(dyn, model, knowledge, cell_n, cell_seed, store=store)
+        result = compute_cell(
+            dyn, model, knowledge, cell_n, cell_seed, store=store, quotient=quotient
+        )
         payloads.append(cell_to_payload(result))
         queue.heartbeat(record.id)
         queue.update_progress(record.id, {"units_done": done, "units_total": len(specs)})
@@ -99,7 +105,13 @@ def _run_certificate_job(queue: JobQueue, store: ResultStore, record: JobRecord)
     queue.heartbeat(record.id)
     # The certificate reuses every table cell already in the store, so a
     # retried certificate job recomputes nothing that survived the crash.
-    doc = reproduction_certificate(n=n, seed=seed, parallel=False, store=store)
+    doc = reproduction_certificate(
+        n=n,
+        seed=seed,
+        parallel=False,
+        store=store,
+        quotient=record.params.get("quotient"),
+    )
     params = {"n": n, "seed": seed}
     key = document_key("certificate", params)
     store.put(key, doc, kind="certificate-doc", params=params)

@@ -51,7 +51,10 @@ from repro.store.atomic import atomic_write_bytes
 
 #: Generation of the snapshot envelope itself.  Bump on any change to the
 #: fields or their encoding; restore refuses mismatches loudly.
-SNAPSHOT_CODEC_VERSION = "1"
+#: "1" was the original envelope; "2" added the ``quotient`` field
+#: (snapshots of quotient-accelerated runs carry *base* states plus the
+#: fibration classes — see :mod:`repro.core.engine.quotient`).
+SNAPSHOT_CODEC_VERSION = "2"
 
 
 class SnapshotError(ValueError):
@@ -109,6 +112,13 @@ class Snapshot:
     tracers: List[Dict[str, Any]] = field(default_factory=list)
     codec_version: str = SNAPSHOT_CODEC_VERSION
     engine_version: str = ENGINE_VERSION
+    #: ``None`` for direct runs.  For quotient-accelerated runs
+    #: (:class:`~repro.core.engine.quotient.QuotientExecution`) this is
+    #: ``{"base_n": ..., "classes": [...]}`` — ``states_blob`` then holds
+    #: the *base* state vector (length ``base_n``) and ``classes`` maps
+    #: each of the ``n`` full-graph vertices to its base vertex, which is
+    #: all a restore needs to lift.  ``n`` stays the full network size.
+    quotient: Optional[Dict[str, Any]] = None
 
     def states(self) -> List[Any]:
         """Decode the state vector, verifying both integrity digests."""
@@ -135,6 +145,7 @@ class Snapshot:
             "blob_sha256": hashlib.sha256(self.states_blob).hexdigest(),
             "states_digest": self.states_digest,
             "tracers": self.tracers,
+            "quotient": self.quotient,
         }
 
     @classmethod
@@ -158,6 +169,7 @@ class Snapshot:
             states_digest=d["states_digest"],
             rng_state=d.get("rng_state"),
             tracers=list(d.get("tracers") or []),
+            quotient=d.get("quotient"),
         )
 
     def to_bytes(self) -> bytes:
@@ -222,10 +234,22 @@ def snapshot_execution(execution) -> Snapshot:
     :class:`~repro.core.engine.trace.Tracer` observers contribute their
     metric registries (in attach order) so a restored run's counters
     continue from the checkpoint instead of restarting at zero.
+
+    A quotient-active :class:`~repro.core.engine.quotient.QuotientExecution`
+    snapshots its *base* run: base states, base scramble stream, plus the
+    fibration classes in the ``quotient`` field — exponentially smaller
+    than the lifted vector, and exactly what a resume needs to continue
+    bit-identically on the base.
     """
     from repro.core.engine.trace import Tracer  # engine sits below the store
 
-    stepper = execution._stepper
+    quotient = None
+    if getattr(execution, "quotient_active", False):
+        mb = execution.minimum_base
+        quotient = {"base_n": mb.base.n, "classes": list(mb.classes)}
+        stepper = execution.base_execution._stepper
+    else:
+        stepper = execution._stepper
     rng = stepper._rng
     blob = encode_states(stepper.states)
     tracers = [
@@ -241,6 +265,7 @@ def snapshot_execution(execution) -> Snapshot:
         states_digest=state_digest(stepper.states),
         rng_state=None if rng is None else _rng_state_to_json(rng.getstate()),
         tracers=tracers,
+        quotient=quotient,
     )
 
 
@@ -249,7 +274,12 @@ def restore_execution(execution, snapshot: Snapshot) -> Any:
 
     The execution must have been constructed for the *same computation*:
     same algorithm (by name), same network size, and a scramble stream
-    if and only if the snapshot recorded one.  Returns the execution.
+    if and only if the snapshot recorded one.  A quotient snapshot (one
+    carrying a ``quotient`` field) restores only into a quotient-active
+    execution over the *same* fibration classes — and vice versa, a plain
+    snapshot refuses a quotient-active execution: the scramble streams of
+    base and full runs are different streams, so crossing modes would
+    silently desynchronize the resumed trajectory.  Returns the execution.
     """
     from repro.core.engine.trace import MetricsRegistry, Tracer
 
@@ -263,7 +293,30 @@ def restore_execution(execution, snapshot: Snapshot) -> Any:
         raise SnapshotError(
             f"snapshot has {snapshot.n} agents, execution has {execution.n}"
         )
-    stepper = execution._stepper
+    quotient_active = getattr(execution, "quotient_active", False)
+    if snapshot.quotient is not None:
+        if not quotient_active:
+            raise SnapshotError(
+                "snapshot was taken of a quotient-accelerated run; restore "
+                "it into an Execution(..., quotient=True) whose activation "
+                "succeeded (resume_execution arranges this automatically)"
+            )
+        if list(execution.minimum_base.classes) != list(snapshot.quotient["classes"]):
+            raise SnapshotError(
+                "fibration mismatch: the snapshot's quotient classes differ "
+                "from this execution's — same graph, same initial "
+                "configuration required"
+            )
+        stepper = execution.base_execution._stepper
+        execution._lifted_round = -1  # invalidate the cached lifted vector
+    elif quotient_active:
+        raise SnapshotError(
+            "snapshot was taken of a direct run; a quotient-active "
+            "execution cannot continue its scramble stream — restore into "
+            "a plain Execution instead"
+        )
+    else:
+        stepper = execution._stepper
     if (stepper._rng is None) != (snapshot.rng_state is None):
         raise SnapshotError(
             "scramble mismatch: snapshot and execution disagree on whether "
@@ -293,15 +346,50 @@ def resume_execution(
     call site); this convenience wires them back together.  Scrambling is
     re-enabled iff the snapshot carries an RNG state (the seed value is
     irrelevant — the restored stream position overwrites it).
+
+    A quotient snapshot resumes as a quotient-accelerated execution on
+    ``network``: the base states are lifted along the recorded classes to
+    rebuild the full configuration, and the execution is pinned to the
+    recorded fibration (via
+    :meth:`~repro.core.engine.quotient.QuotientExecution.adopt_partition`
+    when re-activation lands on a different — e.g. coarser, if the states
+    have gained symmetry since round 0 — partition), so the base scramble
+    stream continues bit-identically.
     """
     from repro.core.execution import Execution
 
     check_versions(snapshot.codec_version, snapshot.engine_version)
+    scramble_seed = None if snapshot.rng_state is None else 0
+    if snapshot.quotient is not None:
+        classes = list(snapshot.quotient["classes"])
+        base_states = snapshot.states()
+        lifted = [base_states[c] for c in classes]
+        execution = Execution(
+            algorithm,
+            network,
+            initial_states=lifted,
+            scramble_seed=scramble_seed,
+            check_model=check_model,
+            quotient=True,
+            quotient_ratio=1.0,
+        )
+        if (
+            not execution.quotient_active
+            or list(execution.minimum_base.classes) != classes
+        ):
+            try:
+                execution.adopt_partition(classes)
+            except ValueError as exc:
+                raise SnapshotError(
+                    f"snapshot's quotient classes are not an equitable "
+                    f"partition of this network: {exc}"
+                )
+        return restore_execution(execution, snapshot)
     execution = Execution(
         algorithm,
         network,
         initial_states=snapshot.states(),
-        scramble_seed=None if snapshot.rng_state is None else 0,
+        scramble_seed=scramble_seed,
         check_model=check_model,
     )
     return restore_execution(execution, snapshot)

@@ -1,12 +1,18 @@
 """Tests for valuation/state lifting and the lifted function fᵠ (§3.1)."""
 
+from fractions import Fraction
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fibrations.fibration import ring_collapse
 from repro.fibrations.lifting import (
     lift_global_state,
+    lift_snapshot,
     lift_valuation,
     lifted_function,
+    pushdown_global_state,
     pushdown_valuation,
 )
 
@@ -59,3 +65,87 @@ class TestPushdown:
         phi = ring_collapse(4, 2)
         with pytest.raises(ValueError):
             pushdown_valuation(phi, ["a"])
+
+    def test_fraction_int_equality_not_repr(self):
+        # Regression: the fibre-constancy check used to compare repr()s,
+        # which split Fraction(2, 1) from 2 even though they are equal.
+        # The check now goes through the keys convention (payloads_equal),
+        # so numerically-equal payloads of different types push down fine.
+        phi = ring_collapse(4, 2)
+        assert pushdown_valuation(phi, [Fraction(2, 1), 3, 2, Fraction(3, 1)]) == [
+            Fraction(2, 1),
+            3,
+        ]
+        # ...while genuinely unequal payloads still split the fibre.
+        with pytest.raises(ValueError):
+            pushdown_valuation(phi, ["2", 0, 2, 0])
+
+    def test_global_state_alias(self):
+        phi = ring_collapse(4, 2)
+        assert pushdown_global_state(phi, [1, 2, 1, 2]) == [1, 2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),   # base size
+        st.integers(min_value=2, max_value=4),   # fibre multiplicity
+        st.data(),
+    )
+    def test_roundtrip_property(self, base_n, mult, data):
+        # pushdown(lift(v)) == v for every base valuation v.
+        phi = ring_collapse(base_n * mult, base_n)
+        values = data.draw(
+            st.lists(
+                st.one_of(
+                    st.integers(-5, 5),
+                    st.fractions(min_value=-9, max_value=9, max_denominator=9),
+                    st.text(max_size=3),
+                ),
+                min_size=base_n,
+                max_size=base_n,
+            )
+        )
+        assert pushdown_valuation(phi, lift_valuation(phi, values)) == values
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_non_constant_raises_property(self, base_n, mult, salt):
+        # Any valuation that is injective on a fibre of size >= 2 is not
+        # fibrewise-constant and must be rejected.
+        phi = ring_collapse(base_n * mult, base_n)
+        values = [(v * 7919 + salt) for v in range(base_n * mult)]
+        with pytest.raises(ValueError):
+            pushdown_valuation(phi, values)
+
+
+class TestLiftSnapshot:
+    def test_roundtrip_through_quotient_execution(self):
+        from repro.algorithms import GossipAlgorithm
+        from repro.core.execution import Execution
+        from repro.graphs.builders import hypercube
+        from repro.store.snapshot import snapshot_execution
+
+        g = hypercube(3)
+        execution = Execution(GossipAlgorithm(max), g, inputs=[7] * g.n, quotient=True)
+        assert execution.quotient_active
+        execution.run(3)
+        base_snapshot = snapshot_execution(execution.base_execution)
+        lifted = lift_snapshot(execution.minimum_base.fibration, base_snapshot)
+        assert lifted.n == g.n
+        assert lifted.round_number == execution.round_number
+        assert lifted.states() == execution.states
+
+    def test_wrong_base_size_rejected(self):
+        from repro.algorithms import GossipAlgorithm
+        from repro.core.execution import Execution
+        from repro.graphs.builders import bidirectional_ring
+        from repro.store.snapshot import snapshot_execution
+
+        phi = ring_collapse(6, 3)
+        other = Execution(GossipAlgorithm(max), bidirectional_ring(4), inputs=[1] * 4)
+        other.run(1)
+        with pytest.raises(ValueError):
+            lift_snapshot(phi, snapshot_execution(other))

@@ -1,0 +1,489 @@
+"""Quotient execution IS direct execution — Lemma 3.1, operationally.
+
+:class:`~repro.core.engine.quotient.QuotientExecution` simulates the
+memoized minimum base and lifts the trajectory fibrewise.  These tests
+pin the contract:
+
+* **Bit-identity.**  On graphs where the quotient activates, the lifted
+  trajectory equals the direct trajectory round for round — states,
+  outputs, round numbers — across all four communication models, traced
+  and untraced, and through ``run_batch`` (which CI reruns under
+  ``REPRO_PARALLEL=1``).  The algorithms used are order-invariant and
+  exact on purpose: the base's delivery-scramble stream is a different
+  stream than the full graph's, and the lemma only promises identity up
+  to inbox order.
+* **Fallback.**  Asymmetric random graphs (trivial base), dynamic
+  networks, the ``OUTPUT_PORT_AWARE`` model, and fibrations that do not
+  preserve outdegrees all fall back to direct execution — same
+  trajectory, ``quotient_active == False``, a named fallback reason.
+* **Snapshots.**  A quotient run checkpoints base states plus fibration
+  classes (codec "2"), resumes bit-identically, and refuses cross-mode
+  restores.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import GossipAlgorithm
+from repro.core.agent import OutdegreeAlgorithm, OutputPortAlgorithm
+from repro.core.engine.quotient import (
+    QuotientExecution,
+    clear_quotient_stats,
+    default_quotient_ratio,
+    quotient_enabled_by_env,
+    quotient_stats,
+)
+from repro.core.execution import Execution
+from repro.core.models import CommunicationModel
+from repro.graphs.builders import (
+    bidirectional_ring,
+    complete_graph,
+    de_bruijn_graph,
+    directed_ring,
+    hypercube,
+    random_strongly_connected,
+    star_graph,
+    torus,
+)
+
+ROUNDS = 4
+
+
+class SymmetricGossip(GossipAlgorithm):
+    """Gossip under the SYMMETRIC model (set union — order-invariant)."""
+
+    model = CommunicationModel.SYMMETRIC
+
+
+class ExactOutdegree(OutdegreeAlgorithm):
+    """Order-invariant, exact-arithmetic OUTDEGREE_AWARE algorithm.
+
+    State = (frozenset of values seen, frozenset of outdegrees seen);
+    transitions are unions, so inbox order cannot matter and every value
+    is an exact int — a float accumulator would forgive nothing and
+    prove nothing.
+    """
+
+    def initial_state(self, input_value):
+        return (frozenset([input_value]), frozenset())
+
+    def message(self, state, outdegree):
+        return (state[0], state[1] | {outdegree})
+
+    def transition(self, state, received):
+        values, degrees = state[0], state[1]
+        for (vals, degs) in received:
+            values |= vals
+            degrees |= degs
+        return (values, degrees)
+
+    def output(self, state):
+        return (state[0], state[1])
+
+
+class PortGossip(OutputPortAlgorithm):
+    """OUTPUT_PORT_AWARE set-flooding — quotient must always fall back."""
+
+    def initial_state(self, input_value):
+        return frozenset([input_value])
+
+    def messages(self, state, outdegree):
+        return [state | {("port", port)} for port in range(outdegree)]
+
+    def transition(self, state, received):
+        for msg in received:
+            state |= msg
+        return state
+
+    def output(self, state):
+        return state
+
+
+def transitive_graph(family: str, size_index: int):
+    """A vertex-transitive graph from one of the paper's stock families."""
+    if family == "ring":
+        return bidirectional_ring(3 + size_index)
+    if family == "directed-ring":
+        return directed_ring(3 + size_index)
+    if family == "torus":
+        return torus(2 + size_index, 3)
+    if family == "hypercube":
+        return hypercube(2 + size_index % 3)
+    if family == "complete":
+        return complete_graph(3 + size_index)
+    return de_bruijn_graph(2, 2 + size_index % 3)
+
+
+FAMILIES = ["ring", "directed-ring", "torus", "hypercube", "complete", "de-bruijn"]
+
+transitive_params = st.tuples(
+    st.sampled_from(FAMILIES),
+    st.integers(min_value=0, max_value=4),  # size index
+    st.integers(min_value=0, max_value=100),  # input value
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1)),  # scramble
+)
+
+
+def assert_bit_identical(algorithm_factory, network, inputs, scramble, *,
+                         expect_active, tracer_on_quotient=False):
+    """Step a quotient run and a direct run in lockstep; compare everything."""
+    quotient = Execution(
+        algorithm_factory(), network, inputs=inputs,
+        scramble_seed=scramble, quotient=True,
+    )
+    direct = Execution(
+        algorithm_factory(), network, inputs=inputs, scramble_seed=scramble
+    )
+    assert isinstance(quotient, QuotientExecution)
+    assert quotient.quotient_active == expect_active
+    if expect_active:
+        assert quotient.base_n < network.n
+    if tracer_on_quotient:
+        from repro.core.engine.trace import Tracer
+
+        quotient.attach(Tracer())
+        direct.attach(Tracer())
+    for _ in range(ROUNDS):
+        quotient.step()
+        direct.step()
+        assert quotient.round_number == direct.round_number
+        assert quotient.states == direct.states
+        assert quotient.outputs() == direct.outputs()
+        assert quotient.unanimous_output() == direct.unanimous_output()
+    return quotient
+
+
+class TestBitIdentityTransitive:
+    """Constant inputs on vertex-transitive graphs: the quotient activates
+    (the minimum base is a single vertex) and the trajectory lifts
+    bit-for-bit, for every model that can lift at all."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(transitive_params)
+    def test_broadcast(self, p):
+        family, size, value, scramble = p
+        g = transitive_graph(family, size)
+        assert_bit_identical(
+            lambda: GossipAlgorithm(max), g, [value] * g.n, scramble,
+            expect_active=True,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(transitive_params)
+    def test_symmetric(self, p):
+        family, size, value, scramble = p
+        if family in ("directed-ring", "de-bruijn"):
+            family = "ring"  # SYMMETRIC needs a symmetric network
+        g = transitive_graph(family, size)
+        assert_bit_identical(
+            lambda: SymmetricGossip(max), g, [value] * g.n, scramble,
+            expect_active=True,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(transitive_params)
+    def test_outdegree(self, p):
+        family, size, value, scramble = p
+        if family == "de-bruijn":
+            # De Bruijn graphs are not vertex-transitive: their base is
+            # nontrivial and does not preserve outdegrees (that fallback
+            # has its own test on the star graph below).
+            family = "torus"
+        g = transitive_graph(family, size)
+        # Vertex-transitive graphs are out-regular, so the one-vertex
+        # base preserves the outdegree and the quotient activates.
+        assert_bit_identical(
+            lambda: ExactOutdegree(), g, [value] * g.n, scramble,
+            expect_active=True,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(transitive_params)
+    def test_output_ports_fall_back(self, p):
+        family, size, value, scramble = p
+        g = transitive_graph(family, size)
+        execution = assert_bit_identical(
+            lambda: PortGossip(), g, [value] * g.n, scramble,
+            expect_active=False,
+        )
+        assert execution.quotient_fallback_reason == "output-port-model"
+
+    @settings(max_examples=10, deadline=None)
+    @given(transitive_params)
+    def test_traced_runs_stay_identical(self, p):
+        family, size, value, scramble = p
+        g = transitive_graph(family, size)
+        assert_bit_identical(
+            lambda: GossipAlgorithm(max), g, [value] * g.n, scramble,
+            expect_active=True, tracer_on_quotient=True,
+        )
+
+
+class TestBitIdentityRefinedBase:
+    """Fibrewise-constant-but-not-constant inputs: the refined base
+    (valued by the initial configuration) still activates."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),   # period
+        st.integers(min_value=2, max_value=4),   # repetitions
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+    def test_periodic_ring_inputs(self, period, reps, scramble):
+        n = period * reps
+        g = bidirectional_ring(n)
+        inputs = [(v % period) * 10 + 1 for v in range(n)]
+        quotient = assert_bit_identical(
+            lambda: GossipAlgorithm(max), g, inputs, scramble, expect_active=True
+        )
+        assert quotient.base_n == period
+
+
+class TestFallbacks:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+    def test_asymmetric_graphs_fall_back_bit_identically(self, n, seed, scramble):
+        g = random_strongly_connected(n, seed=seed)
+        execution = assert_bit_identical(
+            lambda: GossipAlgorithm(max), g, list(range(n)), scramble,
+            expect_active=False,
+        )
+        assert execution.quotient_fallback_reason in (
+            "trivial-base",
+            "base-too-large",
+            "inputs-not-fibrewise-constant",
+        )
+
+    def test_dynamic_network_falls_back(self):
+        from repro.dynamics.generators import random_dynamic_strongly_connected
+
+        dyn = random_dynamic_strongly_connected(5, seed=3)
+        execution = Execution(
+            GossipAlgorithm(max), dyn, inputs=[1] * 5, quotient=True
+        )
+        assert not execution.quotient_active
+        assert execution.quotient_fallback_reason == "dynamic-network"
+        direct = Execution(
+            GossipAlgorithm(max),
+            random_dynamic_strongly_connected(5, seed=3),
+            inputs=[1] * 5,
+        )
+        execution.run(ROUNDS)
+        direct.run(ROUNDS)
+        assert execution.states == direct.states
+
+    def test_outdegree_not_preserved_falls_back(self):
+        # The star's base merges all leaves; the hub's outdegree (n-1
+        # leaves) does not survive into the two-vertex base, so any
+        # outdegree-aware run must fall back — and still agree with the
+        # direct run.
+        g = star_graph(6)
+        execution = assert_bit_identical(
+            lambda: ExactOutdegree(), g, [3] * g.n, None, expect_active=False
+        )
+        assert execution.quotient_fallback_reason == "outdegree-not-preserved"
+        # ...while a broadcast run on the same star activates fine.
+        broadcast = Execution(
+            GossipAlgorithm(max), g, inputs=[3] * g.n, quotient=True
+        )
+        assert broadcast.quotient_active and broadcast.base_n == 2
+
+    def test_ratio_knob(self, monkeypatch):
+        g = bidirectional_ring(6)
+        tight = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 6,
+            quotient=True, quotient_ratio=0.2,
+        )
+        assert tight.quotient_active  # base.n/n = 1/6 <= 0.2
+        stingy = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 6,
+            quotient=True, quotient_ratio=0.01,
+        )
+        assert not stingy.quotient_active
+        assert stingy.quotient_fallback_reason == "base-too-large"
+        monkeypatch.setenv("REPRO_QUOTIENT_RATIO", "0.01")
+        assert default_quotient_ratio() == 0.01
+        env_stingy = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 6, quotient=True
+        )
+        assert not env_stingy.quotient_active
+
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUOTIENT", raising=False)
+        assert not quotient_enabled_by_env()
+        monkeypatch.setenv("REPRO_QUOTIENT", "1")
+        assert quotient_enabled_by_env()
+
+    def test_model_violation_falls_back_then_direct_raises(self):
+        g = bidirectional_ring(4, self_loops=False)
+        execution = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 4, quotient=True
+        )
+        assert not execution.quotient_active
+        assert execution.quotient_fallback_reason == "model-violation"
+        with pytest.raises(ValueError):
+            execution.step()
+
+
+class TestCounters:
+    def test_activations_fallbacks_lifts(self):
+        clear_quotient_stats()
+        g = hypercube(3)
+        execution = Execution(
+            GossipAlgorithm(max), g, inputs=[2] * g.n, quotient=True
+        )
+        execution.run(2)
+        _ = execution.states  # forces one lazy lift
+        Execution(
+            GossipAlgorithm(max),
+            random_strongly_connected(6, seed=1),
+            inputs=list(range(6)),
+            quotient=True,
+        )
+        stats = quotient_stats()
+        assert stats["activations"] == 1
+        assert stats["fallbacks"] == 1
+        assert stats["lifts"] == 1
+        assert sum(stats["fallback_reasons"].values()) == 1
+
+    def test_publish_metrics_delta(self):
+        from repro.core.engine.trace import MetricsRegistry
+        from repro.core.engine.quotient import publish_quotient_metrics
+
+        baseline = quotient_stats()
+        g = hypercube(2)
+        Execution(GossipAlgorithm(max), g, inputs=[1] * g.n, quotient=True)
+        registry = MetricsRegistry()
+        publish_quotient_metrics(registry, baseline)
+        assert registry.counter("quotient_activations").value == 1
+
+
+class TestBatchAndParallel:
+    """run_batch(quotient=True) equals run_batch(quotient=False); under
+    REPRO_PARALLEL=1 (CI) the same assertion exercises the pool path."""
+
+    def test_run_batch_quotient_matches_direct(self):
+        from repro.core.engine.batch import BatchJob, run_batch
+
+        jobs = [
+            BatchJob(
+                algorithm=GossipAlgorithm(max),
+                network=transitive_graph(family, 1),
+                inputs=[7] * transitive_graph(family, 1).n,
+                runner="rounds",
+                rounds=ROUNDS,
+                label=family,
+            )
+            for family in FAMILIES
+        ]
+        accelerated = run_batch(jobs, quotient=True)
+        plain = run_batch(jobs, quotient=False)
+        for fast, slow in zip(accelerated, plain):
+            assert fast.outputs == slow.outputs
+            assert fast.label == slow.label
+
+    def test_job_level_quotient_wins_over_batch_level(self):
+        from repro.core.engine.batch import BatchJob, run_batch
+
+        g = hypercube(3)
+        job = BatchJob(
+            algorithm=GossipAlgorithm(max),
+            network=g,
+            inputs=[1] * g.n,
+            rounds=2,
+            quotient=False,
+        )
+        [result] = run_batch([job], quotient=True, parallel=False)
+        assert not getattr(result.execution, "quotient_active", False)
+
+    def test_bandwidth_sweep_quotient_curves_equal(self):
+        from repro.analysis.bandwidth import bandwidth_sweep
+
+        specs = [
+            (lambda: GossipAlgorithm(max), lambda: hypercube(3), [5] * 8, 3),
+            (lambda: GossipAlgorithm(max), lambda: bidirectional_ring(6), [2] * 6, 3),
+        ]
+        assert bandwidth_sweep(specs, quotient=True) == bandwidth_sweep(
+            specs, quotient=False
+        )
+
+
+class TestQuotientSnapshots:
+    def _run(self, rounds, quotient=True):
+        g = torus(3, 3)
+        return Execution(
+            GossipAlgorithm(min), g, inputs=[4] * g.n,
+            scramble_seed=11, quotient=quotient,
+        ).run(rounds)
+
+    def test_snapshot_records_base_and_classes(self):
+        from repro.store.snapshot import snapshot_execution
+
+        execution = self._run(3)
+        assert execution.quotient_active
+        snapshot = snapshot_execution(execution)
+        assert snapshot.quotient is not None
+        assert snapshot.quotient["base_n"] == execution.base_n
+        assert snapshot.quotient["classes"] == list(
+            execution.minimum_base.classes
+        )
+        assert snapshot.n == execution.n
+        assert len(snapshot.states()) == execution.base_n
+
+    def test_resume_is_bit_identical_including_snapshot_bytes(self):
+        from repro.store.snapshot import resume_execution, snapshot_execution
+        from repro.store.snapshot import Snapshot
+
+        interrupted = self._run(3)
+        blob = snapshot_execution(interrupted).to_bytes()
+        resumed = resume_execution(
+            Snapshot.from_bytes(blob), GossipAlgorithm(min), torus(3, 3)
+        )
+        assert isinstance(resumed, QuotientExecution) and resumed.quotient_active
+        resumed.run(ROUNDS)
+        uninterrupted = self._run(3 + ROUNDS)
+        assert resumed.states == uninterrupted.states
+        assert (
+            snapshot_execution(resumed).to_bytes()
+            == snapshot_execution(uninterrupted).to_bytes()
+        )
+
+    def test_cross_mode_restores_refused(self):
+        from repro.store.snapshot import SnapshotError, restore_execution, snapshot_execution
+
+        quotient_run = self._run(2)
+        # quotient=False hands back a plain Execution (no quotient façade).
+        direct_run = self._run(2, quotient=False)
+        assert not getattr(direct_run, "quotient_active", False)
+        with pytest.raises(SnapshotError):
+            restore_execution(direct_run, snapshot_execution(quotient_run))
+        with pytest.raises(SnapshotError):
+            restore_execution(quotient_run, snapshot_execution(direct_run))
+
+    def test_adopt_partition_pins_finer_fibration(self):
+        g = bidirectional_ring(6)
+        execution = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 6, quotient=True
+        )
+        assert execution.base_n == 1
+        execution.adopt_partition([0, 1, 2, 0, 1, 2])
+        assert execution.base_n == 3
+        direct = Execution(GossipAlgorithm(max), g, inputs=[1] * 6)
+        execution.run(ROUNDS)
+        direct.run(ROUNDS)
+        assert execution.states == direct.states
+
+    def test_adopt_partition_rejects_inequitable(self):
+        g = bidirectional_ring(6)
+        execution = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 6, quotient=True
+        )
+        with pytest.raises(ValueError):
+            execution.adopt_partition([0, 0, 0, 0, 0, 1])

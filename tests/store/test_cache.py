@@ -160,8 +160,63 @@ class TestResultStore:
             fh.write("junk")
 
         report = store.gc()
-        assert report == {"temp_files": 1, "corrupt_entries": 1, "stale_versions": 1}
+        assert report == {
+            "temp_files": 1,
+            "corrupt_entries": 1,
+            "stale_versions": 1,
+            "stale_codecs": 0,
+        }
         assert store.get(good) == {"v": 1}
+
+    def test_gc_prunes_stale_snapshot_codecs(self, tmp_path):
+        # Entries written before the quotient snapshot codec ("2") carry
+        # either an older stamp or no stamp at all; gc prunes both, while
+        # current-codec entries survive.
+        from repro.core.engine import ENGINE_VERSION
+        from repro.store.snapshot import SNAPSHOT_CODEC_VERSION
+
+        store = ResultStore(tmp_path)
+        good = result_key("thing", {"x": 1})
+        store.put(good, {"v": 1}, kind="thing")
+        assert json.load(open(store.entry_path(good)))["snapshot_codec"] == (
+            SNAPSHOT_CODEC_VERSION
+        )
+        stale_entries = {
+            result_key("thing", {"x": 2}): "0",   # older codec stamp
+            result_key("thing", {"x": 3}): None,  # pre-quotient: no stamp
+        }
+        for key, codec in stale_entries.items():
+            path = store.entry_path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            entry = {
+                "key": key, "kind": "thing", "params": {},
+                "engine_version": ENGINE_VERSION, "payload": {"v": 2},
+                "payload_sha256": store._digest({"v": 2}),
+            }
+            if codec is not None:
+                entry["snapshot_codec"] = codec
+            with open(path, "w") as fh:
+                json.dump(entry, fh)
+
+        report = store.gc()
+        assert report["stale_codecs"] == 2
+        assert report["stale_versions"] == 0
+        assert store.get(good) == {"v": 1}
+        for key in stale_entries:
+            assert key not in store
+
+        # prune_versions=False leaves codec-stale entries alone too.
+        for key in stale_entries:
+            path = store.entry_path(key)
+            entry = {
+                "key": key, "kind": "thing", "params": {},
+                "engine_version": ENGINE_VERSION, "payload": {"v": 2},
+                "payload_sha256": store._digest({"v": 2}),
+            }
+            with open(path, "w") as fh:
+                json.dump(entry, fh)
+        assert store.gc(prune_versions=False)["stale_codecs"] == 0
+        assert all(key in store for key in stale_entries)
 
     def test_entries_and_len(self, tmp_path):
         store = ResultStore(tmp_path)
