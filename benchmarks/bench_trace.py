@@ -14,9 +14,18 @@ of ``bench_engine.py`` in three configurations:
   ``BENCH_engine.json`` normalizes out how much faster or slower the
   current machine is than the one that wrote the baseline.
 
-The acceptance bar is the calibrated 2% bound: tracing-off throughput
-must stay within 2% of the stored post-refactor baseline, rescaled by
-the observed machine drift.  Results go to ``BENCH_trace.json``.
+Two acceptance bars:
+
+* the calibrated 2% bound — tracing-off throughput must stay within 2%
+  of the stored post-refactor baseline, rescaled by the observed machine
+  drift;
+* the ring-tracer bound — tracing **on** may cost at most 2x the
+  untraced rate.  The dict-per-round tracer this replaced cost 18.9x
+  (kept under ``history`` in the results for the record); rounds now
+  land in a preallocated structured-array ring with scalar fast paths
+  for byte accounting and residuals, decoded only at export.
+
+Results go to ``BENCH_trace.json``.
 
 Run directly (``python benchmarks/bench_trace.py``) or via pytest.
 """
@@ -44,6 +53,13 @@ RESULT_PATH = ROOT / "BENCH_trace.json"
 
 #: Allowed tracing-off slowdown vs the calibrated stored baseline.
 MAX_REGRESSION = 0.02
+
+#: Allowed tracing-on cost relative to tracing-off (the ring-tracer bar).
+MAX_TRACING_OVERHEAD = 2.0
+
+#: What the pre-ring, dict-per-round tracer measured on this workload —
+#: kept in the emitted results so the improvement stays on the record.
+PRE_RING_OVERHEAD_FACTOR = 18.93
 
 
 class FloodCount(BroadcastAlgorithm):
@@ -97,6 +113,7 @@ def run_bench() -> dict:
         "tracing_off_rounds_per_sec": round(off_rps, 1),
         "tracing_on_rounds_per_sec": round(on_rps, 1),
         "tracing_overhead_factor": round(off_rps / on_rps, 2),
+        "history": {"pre_ring_tracing_overhead_factor": PRE_RING_OVERHEAD_FACTOR},
     }
 
     if BASELINE_PATH.exists():
@@ -144,11 +161,13 @@ def test_tracing_off_is_free():
         f"the calibrated 2%-regression floor {cal['calibrated_floor_rps']} r/s "
         f"(machine drift {cal['machine_drift']})"
     )
-    # Tracing on must still make forward progress at a sane fraction of
-    # the untraced rate (events + digests + residuals are paid only when
-    # someone asked for them, but they must not cliff the engine).  The
-    # full observation stack costs ~18x here; 50x is the absurdity bar.
-    assert results["tracing_on_rounds_per_sec"] >= 0.02 * results["tracing_off_rounds_per_sec"]
+    # The ring-tracer bar: the full observation stack (record
+    # materialization, byte accounting, digests, residuals, ring write)
+    # may at most halve throughput.  The dict-per-round tracer cost 18.9x.
+    assert results["tracing_overhead_factor"] <= MAX_TRACING_OVERHEAD, (
+        f"tracing-on overhead {results['tracing_overhead_factor']}x exceeds "
+        f"the {MAX_TRACING_OVERHEAD}x ring-tracer bar"
+    )
 
 
 if __name__ == "__main__":

@@ -23,8 +23,16 @@ from repro.core.execution import Execution
 from repro.graphs.views import View
 
 
+#: Exact types whose payloads are atomic by definition — the overwhelming
+#: majority of real messages (Push-Sum reals, gossip scalars).  Subclasses
+#: fall through to the structural walk, which prices them identically.
+_ATOMIC_TYPES = frozenset({int, float, bool, str, bytes, type(None)})
+
+
 def payload_units(message: Any) -> int:
     """Abstract size of one message."""
+    if type(message) in _ATOMIC_TYPES:
+        return 1
     seen_views: set = set()
 
     def measure(obj: Any) -> int:

@@ -49,26 +49,52 @@ def _is_elementwise(x: Any) -> bool:
     )
 
 
+#: How deep :func:`outputs_match` descends into nested containers before
+#: demanding exact ``repr`` equality.  Deep enough for every output shape
+#: the harnesses produce (per-round lists of per-agent dicts of float
+#: pairs is depth 3); the cap keeps pathological self-referential inputs
+#: from recursing unboundedly.
+OUTPUTS_MATCH_MAX_DEPTH = 8
+
+
 def outputs_match(
-    x: Any, y: Any, rel_tol: float = 1e-9, abs_tol: float = 1e-12, _depth: int = 1
+    x: Any,
+    y: Any,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-12,
+    _depth: int = OUTPUTS_MATCH_MAX_DEPTH,
 ) -> bool:
     """Equality by ``repr``, with a float tolerance.
 
-    Lifted executions are mathematically identical but may sum floats in a
-    different order, so numeric outputs are compared up to rounding:
-    scalars via ``math.isclose``, and tuple/list/ndarray outputs
-    elementwise with the same tolerance (recursing one level, so vectors
-    of floats compare correctly but arbitrarily nested structures still
-    fall back to exact ``repr`` equality)."""
+    Lifted and vectorized executions are mathematically identical but may
+    sum floats in a different order, so numeric outputs are compared up
+    to rounding: scalars via ``math.isclose``, and container outputs
+    elementwise with the same tolerance.  The descent is recursive to
+    :data:`OUTPUTS_MATCH_MAX_DEPTH` levels — tuples, lists, and ndarrays
+    compare positionally, dicts key-by-key (per-value frequency tables
+    are dict outputs) — so nested float structures like the vector
+    backend's per-round output sequences compare correctly; only beyond
+    the depth cap does the comparison fall back to exact ``repr``
+    equality.  (The pre-PR-7 version descended a single level, so a list
+    of per-agent float vectors — e.g. nested averages — spuriously
+    mismatched on last-ulp differences.)"""
     if repr(x) == repr(y):
         return True
-    if _depth > 0 and _is_elementwise(x) and _is_elementwise(y):
-        if len(x) != len(y):
-            return False
-        return all(
-            outputs_match(a, b, rel_tol=rel_tol, abs_tol=abs_tol, _depth=_depth - 1)
-            for a, b in zip(x, y)
-        )
+    if _depth > 0:
+        if isinstance(x, dict) and isinstance(y, dict):
+            if set(x.keys()) != set(y.keys()):
+                return False
+            return all(
+                outputs_match(x[k], y[k], rel_tol=rel_tol, abs_tol=abs_tol, _depth=_depth - 1)
+                for k in x
+            )
+        if _is_elementwise(x) and _is_elementwise(y):
+            if len(x) != len(y):
+                return False
+            return all(
+                outputs_match(a, b, rel_tol=rel_tol, abs_tol=abs_tol, _depth=_depth - 1)
+                for a, b in zip(x, y)
+            )
     try:
         return math.isclose(float(x), float(y), rel_tol=rel_tol, abs_tol=abs_tol)
     except (TypeError, ValueError):

@@ -169,12 +169,14 @@ def _exact_job(algorithm, network, inputs, target, rounds, label="") -> BatchJob
 
 
 def _run_exact(
-    algorithm, network, inputs, target, rounds, plan_cache=None, quotient=None
+    algorithm, network, inputs, target, rounds, plan_cache=None, quotient=None,
+    vector=None,
 ) -> bool:
     (result,) = run_batch(
         [_exact_job(algorithm, network, inputs, target, rounds)],
         plan_cache=plan_cache,
         quotient=quotient,
+        vector=vector,
     )
     return result.converged
 
@@ -269,6 +271,7 @@ def run_static_cell(
     seed: int = 0,
     plan_cache: Optional[PlanCache] = None,
     quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> CellResult:
     """Reproduce one Table 1 cell experimentally.
 
@@ -276,8 +279,9 @@ def run_static_cell(
     shared ``plan_cache``, so the cell's graph is compiled into a
     delivery plan once for every probe that runs on it.  ``quotient``
     opts the probes into (or out of) quotient-accelerated execution;
-    ``None`` defers to ``REPRO_QUOTIENT``.  Cell results and manifests
-    are identical either way.
+    ``None`` defers to ``REPRO_QUOTIENT``.  ``vector`` does the same for
+    the vectorized numpy backend (``REPRO_VECTOR``).  Cell results and
+    manifests are identical in every mode.
     """
     expected = computable_class(model, knowledge, dynamic=False)
     details: List[str] = []
@@ -296,6 +300,7 @@ def run_static_cell(
             _STATIC_ROUNDS,
             plan_cache=plan_cache,
             quotient=quotient,
+            vector=vector,
         )
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         refuted_freq = _broadcast_refutation(AVERAGE, knowledge)
@@ -325,6 +330,7 @@ def run_static_cell(
         ],
         plan_cache=plan_cache,
         quotient=quotient,
+        vector=vector,
     )
     verdicts = {r.label: r.converged for r in results}
     got_max, got_avg = verdicts["max"], verdicts["average"]
@@ -359,6 +365,7 @@ def run_dynamic_cell(
     seed: int = 0,
     plan_cache: Optional[PlanCache] = None,
     quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> CellResult:
     """Reproduce one Table 2 cell experimentally.
 
@@ -378,7 +385,7 @@ def run_dynamic_cell(
         got_max = _run_exact(GossipAlgorithm(max), dyn,
                              [v[0] for v in run_inputs] if leader else run_inputs,
                              MAXIMUM(inputs), _STATIC_ROUNDS, plan_cache=plan_cache,
-                             quotient=quotient)
+                             quotient=quotient, vector=vector)
         refuted_freq = _broadcast_refutation(AVERAGE, knowledge)
         details.append(f"max via gossip: {'ok' if got_max else 'FAILED'}")
         details.append(
@@ -414,6 +421,7 @@ def run_dynamic_cell(
             ],
             plan_cache=plan_cache,
             quotient=quotient,
+            vector=vector,
         )
         got_max, avg_report = max_result.converged, avg_result.report
         refuted_sum = _sum_refutation(model)
@@ -476,6 +484,7 @@ def run_dynamic_cell(
         ],
         plan_cache=plan_cache,
         quotient=quotient,
+        vector=vector,
     )
     verdicts = {r.label: r.converged for r in results}
     got_max, got_avg = verdicts["max"], verdicts["average"]
@@ -527,21 +536,24 @@ def compute_cell(
     plan_cache: Optional[PlanCache] = None,
     store=None,
     quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> CellResult:
     """One table cell, served from the durable result store when warm.
 
     ``store`` is a :class:`repro.store.cache.ResultStore` (or ``None``
     for compute-always).  Store keys bind the cell parameters *and* the
     engine generation; a corrupted entry is quarantined and recomputed,
-    never served.  ``quotient`` is deliberately *not* part of the store
-    key: quotient-accelerated and direct probes produce byte-identical
-    payloads (that is the Lifting lemma's contract, pinned by the
-    property suite), so either mode may serve the other's cache.
+    never served.  ``quotient`` and ``vector`` are deliberately *not*
+    part of the store key: accelerated and direct probes produce
+    byte-identical payloads (the Lifting lemma's contract and the vector
+    backend's faithfulness contract, both pinned by the property suite),
+    so any mode may serve another's cache.
     """
     def compute() -> CellResult:
         runner = run_dynamic_cell if dynamic else run_static_cell
         return runner(
-            model, knowledge, n=n, seed=seed, plan_cache=plan_cache, quotient=quotient
+            model, knowledge, n=n, seed=seed, plan_cache=plan_cache,
+            quotient=quotient, vector=vector,
         )
 
     if store is None:
@@ -569,8 +581,8 @@ def _cell_task(spec) -> CellResult:
 
     The spec optionally carries a store root (sixth element) so pool
     workers consult and fill the same on-disk result store the parent
-    uses (atomic writes make concurrent fills safe), and the quotient
-    override (seventh element)."""
+    uses (atomic writes make concurrent fills safe), the quotient
+    override (seventh element), and the vector override (eighth)."""
     dynamic, model, knowledge, n, seed = spec[:5]
     store = None
     if len(spec) > 5 and spec[5]:
@@ -578,8 +590,10 @@ def _cell_task(spec) -> CellResult:
 
         store = ResultStore(spec[5])
     quotient = spec[6] if len(spec) > 6 else None
+    vector = spec[7] if len(spec) > 7 else None
     return compute_cell(
-        dynamic, model, knowledge, n, seed, store=store, quotient=quotient
+        dynamic, model, knowledge, n, seed, store=store, quotient=quotient,
+        vector=vector,
     )
 
 
@@ -589,6 +603,7 @@ def _run_cells(
     workers: Optional[int],
     store=None,
     quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> List[CellResult]:
     """Run table cells sequentially (one shared plan cache) or fanned
     across a process pool (each worker keeps its own cache); ``store``
@@ -601,13 +616,13 @@ def _run_cells(
     if parallel:
         root = getattr(store, "root", None)
         return parallel_map(
-            _cell_task, [s + (root, quotient) for s in specs], workers=workers
+            _cell_task, [s + (root, quotient, vector) for s in specs], workers=workers
         )
     plan_cache = PlanCache()
     return [
         compute_cell(
             dynamic, model, knowledge, n, seed, plan_cache=plan_cache, store=store,
-            quotient=quotient,
+            quotient=quotient, vector=vector,
         )
         for dynamic, model, knowledge, n, seed in specs
     ]
@@ -620,6 +635,7 @@ def reproduce_table1(
     workers: Optional[int] = None,
     store=None,
     quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> List[CellResult]:
     """Run all 16 static cells.
 
@@ -637,12 +653,14 @@ def reproduce_table1(
 
     ``quotient=True`` runs every probe quotient-accelerated (identical
     cells, faster rounds on symmetric probe graphs); ``None`` defers to
-    ``REPRO_QUOTIENT``."""
+    ``REPRO_QUOTIENT``.  ``vector=True`` runs kernel-backed probes on the
+    vectorized numpy engine instead (``None`` defers to
+    ``REPRO_VECTOR``)."""
     from repro.store.cache import resolve_store
 
     return _run_cells(
         table_specs(False, n, seed), parallel, workers, store=resolve_store(store),
-        quotient=quotient,
+        quotient=quotient, vector=vector,
     )
 
 
@@ -653,16 +671,18 @@ def reproduce_table2(
     workers: Optional[int] = None,
     store=None,
     quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
 ) -> List[CellResult]:
-    """Run all 12 dynamic cells; same ``parallel``/``store``/``quotient``
-    contract as :func:`reproduce_table1` (dynamic probes fall back to
-    direct execution — the knob is still honored for the static
-    refutation probes)."""
+    """Run all 12 dynamic cells; same ``parallel``/``store``/``quotient``/
+    ``vector`` contract as :func:`reproduce_table1` (quotient probes fall
+    back to direct execution on dynamic graphs — the knobs are still
+    honored for the static refutation probes and the kernel-backed
+    dynamic probes)."""
     from repro.store.cache import resolve_store
 
     return _run_cells(
         table_specs(True, n, seed), parallel, workers, store=resolve_store(store),
-        quotient=quotient,
+        quotient=quotient, vector=vector,
     )
 
 

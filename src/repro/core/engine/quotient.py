@@ -57,6 +57,7 @@ import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.execution import Execution
+from repro.envflags import env_flag
 from repro.graphs.digraph import DiGraph
 
 #: Default activation threshold: fall back when base.n/g.n exceeds this.
@@ -73,8 +74,9 @@ _FALLBACK_REASONS: Dict[str, int] = {}
 
 
 def quotient_enabled_by_env() -> bool:
-    """Whether ``REPRO_QUOTIENT=1`` turns quotient execution on by default."""
-    return os.environ.get(QUOTIENT_ENV, "") == "1"
+    """Whether ``REPRO_QUOTIENT`` turns quotient execution on by default
+    (shared truthy/falsy spellings — see :mod:`repro.envflags`)."""
+    return env_flag(QUOTIENT_ENV, default=False)
 
 
 def default_quotient_ratio() -> float:
@@ -143,7 +145,9 @@ class QuotientExecution(Execution):
         *,
         quotient: bool = True,
         quotient_ratio: Optional[float] = None,
+        vector: bool = False,
     ):
+        del vector  # quotient takes precedence when both are requested
         super().__init__(
             algorithm,
             network,

@@ -45,6 +45,12 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
 
+try:  # Optional: the ring buffer stores rounds as a structured array.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image bundles numpy
+    _np = None
+
+from repro.core.agent import OutputPortAlgorithm
 from repro.core.engine.instrumentation import RoundRecord, state_digest
 from repro.core.engine.plan import DeliveryPlan, PlanCache
 from repro.core.metrics import discrete_metric, euclidean_metric, spread
@@ -96,6 +102,28 @@ class TraceEvent:
 
     def __repr__(self) -> str:
         return f"TraceEvent({self.kind!r}, round={self.round}, {self.fields})"
+
+
+def _round_event(
+    round_number: int,
+    messages: int,
+    bytes_delivered: int,
+    bytes_peak: int,
+    residual: Optional[float],
+    digest: int,
+    wall_seconds: float,
+) -> TraceEvent:
+    """A ``round`` :class:`TraceEvent` from its (decoded) record fields."""
+    return TraceEvent(
+        "round",
+        round=round_number,
+        messages=messages,
+        bytes_delivered=bytes_delivered,
+        bytes_peak=bytes_peak,
+        residual=residual,
+        digest=digest,
+        wall_seconds=wall_seconds,
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -273,6 +301,33 @@ class MetricsRegistry:
 # the tracer
 # ---------------------------------------------------------------------- #
 
+#: Rounds retained by a tracer's ring buffer before the oldest are
+#: overwritten; ~1 MiB of records at the default.  Raise per tracer via
+#: ``Tracer(ring_capacity=...)`` when a run needs its full round history.
+DEFAULT_RING_CAPACITY = 16384
+
+if _np is not None:
+    #: One round as a fixed-width binary record.  ``residual`` rides as a
+    #: float64 + presence flag (``None`` when residual tracking is off);
+    #: every field round-trips its Python value exactly (int64 covers the
+    #: crc32 digest range, float64 IS the Python float).
+    _ROUND_DTYPE = _np.dtype(
+        [
+            ("seq", _np.int64),
+            ("round", _np.int64),
+            ("messages", _np.int64),
+            ("bytes_delivered", _np.int64),
+            ("bytes_peak", _np.int64),
+            ("residual", _np.float64),
+            ("has_residual", _np.bool_),
+            ("digest", _np.int64),
+            ("wall_seconds", _np.float64),
+        ]
+    )
+else:  # pragma: no cover - the CI image bundles numpy
+    _ROUND_DTYPE = None
+
+
 class Tracer:
     """A round observer that narrates an execution into events + metrics.
 
@@ -281,17 +336,34 @@ class Tracer:
     :meth:`watch_cache` to count plan-cache hits and time compiles.  The
     tracer holds a plain ``__dict__`` on purpose: the parallel backend's
     observer adoption ships its recordings back from pool workers exactly
-    like any other observer.
+    like any other observer (the ring buffer pickles along).
 
-    Per round it appends a ``round`` :class:`TraceEvent` carrying
+    Round events are **not** stored as Python objects: each observed
+    round writes one fixed-width record into a preallocated numpy ring
+    buffer (``ring_capacity`` rounds, oldest overwritten first —
+    ``dropped_rounds`` counts casualties), and the :attr:`events` /
+    :meth:`round_events` views decode records back into
+    :class:`TraceEvent` objects lazily, at read time.  Long traced runs
+    therefore cost a few array stores per round instead of a dict, an
+    event object, and an unbounded list append; JSONL export pays the
+    decode exactly once.  Rare non-round events (``plan_compile``) stay
+    object-valued on a side list; a global sequence number keeps the
+    merged stream in emission order.  Without numpy the tracer falls back
+    to plain object storage (no ring, nothing dropped).
+
+    Per round the record carries
 
     * ``messages`` — messages delivered (one per in-edge);
     * ``bytes_delivered`` / ``bytes_peak`` — total and largest delivered
       payload in the abstract units of
-      :func:`repro.analysis.bandwidth.payload_units`;
+      :func:`repro.analysis.bandwidth.payload_units`, charged from the
+      sender side (``units(payload) × outdegree`` for the isotropic
+      transports — the same totals as per-inbox accounting, at ``O(n)``
+      instead of ``O(m)`` payload walks);
     * ``residual`` — the convergence residual: output spread under the
-      Euclidean metric, falling back to the discrete metric for
-      non-numeric outputs;
+      Euclidean metric (max−min fast path for scalar outputs — equal to
+      the max pairwise distance, bit for bit), falling back to the
+      discrete metric for non-numeric outputs;
     * ``digest`` — the canonical :func:`state_digest` of the new global
       state (equal trajectories digest equally across processes);
     * ``wall_seconds`` — environmental, excluded from identity checks;
@@ -306,58 +378,138 @@ class Tracer:
         registry: Optional[MetricsRegistry] = None,
         capture_events: bool = True,
         residuals: bool = True,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ):
+        if ring_capacity < 1:
+            raise ValueError("a ring buffer needs room for at least one round")
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.events: List[TraceEvent] = []
         self.capture_events = capture_events
         self.residuals = residuals
+        self.ring_capacity = int(ring_capacity)
         self._payload_units = None
+        self._ring = None  # allocated on the first captured round
+        self._ring_written = 0  # round records ever recorded (≥ retained)
+        self._side: List[Tuple[int, TraceEvent]] = []  # non-round events
+        self._seq = 0  # global emission ordinal across both stores
+        self._bound_registry = None
+        self._bound_metrics = None
 
     # -- round hook ----------------------------------------------------- #
 
+    def _metrics(self):
+        """The per-round metric handles, rebound if :attr:`registry` was
+        swapped (snapshot restore does that)."""
+        registry = self.registry
+        if self._bound_registry is not registry:
+            self._bound_metrics = (
+                registry.counter("rounds"),
+                registry.counter("messages_delivered"),
+                registry.counter("bytes_delivered"),
+                registry.gauge("residual"),
+                registry.histogram("round_wall_seconds"),
+            )
+            self._bound_registry = registry
+        return self._bound_metrics
+
     def on_round(self, record: RoundRecord) -> None:
-        if self._payload_units is None:
+        units = self._payload_units
+        if units is None:
             # Lazy: the bandwidth accounting lives above the engine.
             from repro.analysis.bandwidth import payload_units
 
-            self._payload_units = payload_units
-        units = self._payload_units
+            units = self._payload_units = payload_units
         total = 0
         peak = 0
-        for inbox in record.inboxes:
-            for message in inbox:
-                u = units(message)
-                total += u
-                if u > peak:
-                    peak = u
+        outgoing = record.outgoing
+        if isinstance(record.algorithm, OutputPortAlgorithm):
+            # Anisotropic sends: one distinct payload per port, each
+            # delivered exactly once — charge them individually.
+            for payloads in outgoing:
+                for message in payloads:
+                    u = units(message)
+                    total += u
+                    if u > peak:
+                        peak = u
+        else:
+            # Isotropic sends: vertex v's payload is delivered along each
+            # of its outdegree(v) out-edges, so the per-inbox total is
+            # units(payload) × outdegree — one payload walk per vertex.
+            outdegrees = record.plan.outdegrees
+            for v, message in enumerate(outgoing):
+                d = outdegrees[v]
+                if d:
+                    u = units(message)
+                    total += u * d
+                    if u > peak:
+                        peak = u
         residual = self._residual(record) if self.residuals else None
         digest = state_digest(record.states)
 
-        registry = self.registry
-        registry.counter("rounds").inc()
-        registry.counter("messages_delivered").inc(record.messages_sent)
-        registry.counter("bytes_delivered").inc(total)
+        rounds_c, messages_c, bytes_c, residual_g, wall_h = self._metrics()
+        rounds_c.inc()
+        messages_c.inc(record.messages_sent)
+        bytes_c.inc(total)
         if residual is not None:
-            registry.gauge("residual").set(residual)
-        registry.histogram("round_wall_seconds").observe(record.wall_seconds)
+            residual_g.set(residual)
+        wall_h.observe(record.wall_seconds)
 
         if self.capture_events:
-            self.events.append(
-                TraceEvent(
-                    "round",
-                    round=record.round_number,
-                    messages=record.messages_sent,
-                    bytes_delivered=total,
-                    bytes_peak=peak,
-                    residual=residual,
-                    digest=digest,
-                    wall_seconds=record.wall_seconds,
-                )
+            self._capture_round(
+                record.round_number,
+                record.messages_sent,
+                total,
+                peak,
+                residual,
+                digest,
+                record.wall_seconds,
             )
+
+    def _capture_round(self, round_number, messages, total, peak, residual, digest, wall) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        if _np is None:  # pragma: no cover - numpy-less fallback
+            self._side.append(
+                (seq, _round_event(round_number, messages, total, peak, residual, digest, wall))
+            )
+            return
+        ring = self._ring
+        if ring is None:
+            ring = self._ring = _np.zeros(self.ring_capacity, dtype=_ROUND_DTYPE)
+        ring[self._ring_written % self.ring_capacity] = (
+            seq,
+            round_number,
+            messages,
+            total,
+            peak,
+            0.0 if residual is None else residual,
+            residual is not None,
+            digest,
+            wall,
+        )
+        self._ring_written += 1
 
     @staticmethod
     def _residual(record: RoundRecord) -> float:
-        outputs = record.outputs()
+        # Scalar fast path: for real-valued outputs the max pairwise
+        # |x_i - x_j| is exactly max - min (same subtraction, same bits).
+        output = record.algorithm.output
+        outputs = []
+        scalar = True
+        mn = mx = None
+        for state in record.states:
+            o = output(state)
+            outputs.append(o)
+            if scalar and (type(o) is float or type(o) is int):
+                if mn is None:
+                    mn = mx = o
+                elif o < mn:
+                    mn = o
+                elif o > mx:
+                    mx = o
+            else:
+                scalar = False
+        if scalar and mn is not None and mn == mn and mx == mx:  # NaNs fall back
+            return abs(float(mx) - float(mn))
         try:
             return spread(outputs, euclidean_metric)
         except (TypeError, ValueError):
@@ -374,12 +526,17 @@ class Tracer:
         self.registry.counter("plan_compiles").inc()
         self.registry.histogram("plan_compile_seconds").observe(seconds)
         if self.capture_events:
-            self.events.append(
-                TraceEvent(
-                    "plan_compile",
-                    n=plan.n,
-                    messages=plan.num_messages,
-                    compile_wall_seconds=seconds,
+            seq = self._seq
+            self._seq = seq + 1
+            self._side.append(
+                (
+                    seq,
+                    TraceEvent(
+                        "plan_compile",
+                        n=plan.n,
+                        messages=plan.num_messages,
+                        compile_wall_seconds=seconds,
+                    ),
                 )
             )
 
@@ -392,8 +549,51 @@ class Tracer:
 
     # -- views ---------------------------------------------------------- #
 
+    @property
+    def dropped_rounds(self) -> int:
+        """Rounds overwritten by ring wraparound (0 until the buffer laps)."""
+        return max(0, self._ring_written - self.ring_capacity)
+
+    def _decode_ring(self) -> List[Tuple[int, TraceEvent]]:
+        ring = self._ring
+        if ring is None:
+            return []
+        cap = self.ring_capacity
+        written = self._ring_written
+        count = min(written, cap)
+        start = written % cap if written > cap else 0
+        out = []
+        for k in range(count):
+            row = ring[(start + k) % cap]
+            out.append(
+                (
+                    int(row["seq"]),
+                    _round_event(
+                        int(row["round"]),
+                        int(row["messages"]),
+                        int(row["bytes_delivered"]),
+                        int(row["bytes_peak"]),
+                        float(row["residual"]) if bool(row["has_residual"]) else None,
+                        int(row["digest"]),
+                        float(row["wall_seconds"]),
+                    ),
+                )
+            )
+        return out
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained trace, decoded to :class:`TraceEvent` objects in
+        emission order (a fresh list per read — the binary records stay
+        the single source of truth)."""
+        merged = self._decode_ring() + self._side
+        merged.sort(key=lambda pair: pair[0])
+        return [event for _seq, event in merged]
+
     def round_events(self) -> List[TraceEvent]:
-        return [e for e in self.events if e.kind == "round"]
+        if _np is None:  # pragma: no cover - numpy-less fallback
+            return [e for _seq, e in self._side if e.kind == "round"]
+        return [event for _seq, event in self._decode_ring()]
 
     def deterministic_rounds(self) -> List[Tuple[Any, ...]]:
         """The identity-relevant projection of the round stream: one tuple
@@ -409,6 +609,29 @@ class Tracer:
     def summary_event(self) -> TraceEvent:
         """A ``summary`` event carrying the registry snapshot."""
         return TraceEvent("summary", metrics=self.registry.as_dict())
+
+    # -- export --------------------------------------------------------- #
+
+    def export_jsonl(
+        self,
+        path: str,
+        manifest: Optional[Dict[str, Any]] = None,
+        include_summary: bool = True,
+    ) -> str:
+        """Decode the retained trace and write it to ``path`` as JSONL.
+
+        This is where the ring buffer's lazy decode is finally paid — once,
+        at export.  The write goes through the store layer's atomic
+        tempfile + rename (:func:`write_jsonl`), so a crash mid-export
+        leaves any previous file at ``path`` intact rather than truncated.
+        ``include_summary`` appends the :meth:`summary_event` snapshot as
+        the stream's last line.  Returns ``path``.
+        """
+        events = self.events
+        if include_summary:
+            events = events + [self.summary_event()]
+        write_jsonl(path, events, manifest=manifest)
+        return path
 
     def __repr__(self) -> str:
         return f"Tracer({len(self.events)} events, {len(self.registry)} metrics)"

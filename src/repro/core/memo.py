@@ -58,6 +58,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
+from repro.envflags import env_flag
+
 from repro.core.metrics import canonical_repr
 from repro.graphs.digraph import DiGraph
 
@@ -170,9 +172,10 @@ _disabled_depth = 0
 
 
 def memo_enabled() -> bool:
-    """Whether the memo layer is live (``REPRO_MEMO=0`` and
-    :func:`memo_disabled` both switch it off)."""
-    return _disabled_depth == 0 and os.environ.get("REPRO_MEMO", "1") != "0"
+    """Whether the memo layer is live (``REPRO_MEMO=0`` — or any falsy
+    spelling, see :mod:`repro.envflags` — and :func:`memo_disabled` both
+    switch it off)."""
+    return _disabled_depth == 0 and env_flag("REPRO_MEMO", default=True)
 
 
 @contextmanager

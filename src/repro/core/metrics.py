@@ -21,6 +21,11 @@ def canonical_repr(x: Any) -> str:
     canonical reprs) and recurses through tuples and lists, so equal
     payloads canonicalize equally regardless of construction history.
     """
+    t = type(x)
+    if t is int or t is float or t is str or t is bool:
+        # Scalars have no iteration order; plain repr is already
+        # canonical, and this is the hot case in per-round digests.
+        return repr(x)
     if isinstance(x, (set, frozenset)):
         tag = "frozenset" if isinstance(x, frozenset) else "set"
         return tag + "{" + ", ".join(sorted(canonical_repr(e) for e in x)) + "}"

@@ -38,6 +38,7 @@ import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.engine import ENGINE_VERSION
+from repro.envflags import env_path
 from repro.store.atomic import atomic_write_text, sweep_temp_files
 from repro.store.snapshot import SNAPSHOT_CODEC_VERSION
 
@@ -283,8 +284,10 @@ def default_store() -> Optional[ResultStore]:
     This is what every harness entry point falls back to when no explicit
     ``store=`` argument is given, so exporting ``REPRO_STORE=/path`` makes
     tables, sweeps, and certificates durable without code changes.
+    Empty or whitespace-only values mean "no store", via the shared
+    :func:`repro.envflags.env_path` reading.
     """
-    root = os.environ.get(STORE_ENV, "").strip()
+    root = env_path(STORE_ENV)
     return ResultStore(root) if root else None
 
 

@@ -77,15 +77,17 @@ def _run_table_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> st
     dynamic = record.kind == "table2"
     n = int(record.params.get("n", 5 if dynamic else 6))
     seed = int(record.params.get("seed", 0))
-    # Quotient acceleration changes how cells are computed, never what
-    # they contain, so it rides in the job params but stays out of the
-    # document key / cell store keys — warm caches serve both modes.
+    # Quotient/vector acceleration changes how cells are computed, never
+    # what they contain, so both ride in the job params but stay out of
+    # the document key / cell store keys — warm caches serve every mode.
     quotient = record.params.get("quotient")
+    vector = record.params.get("vector")
     specs = table_specs(dynamic, n, seed)
     payloads: List[Dict[str, Any]] = []
     for done, (dyn, model, knowledge, cell_n, cell_seed) in enumerate(specs, start=1):
         result = compute_cell(
-            dyn, model, knowledge, cell_n, cell_seed, store=store, quotient=quotient
+            dyn, model, knowledge, cell_n, cell_seed, store=store, quotient=quotient,
+            vector=vector,
         )
         payloads.append(cell_to_payload(result))
         queue.heartbeat(record.id)
@@ -111,6 +113,7 @@ def _run_certificate_job(queue: JobQueue, store: ResultStore, record: JobRecord)
         parallel=False,
         store=store,
         quotient=record.params.get("quotient"),
+        vector=record.params.get("vector"),
     )
     params = {"n": n, "seed": seed}
     key = document_key("certificate", params)

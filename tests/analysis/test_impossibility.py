@@ -183,8 +183,32 @@ class TestOutputsMatch:
         assert outputs_match(numpy.array([0.1 + 0.2, 1.0]), numpy.array([0.3, 1.0]))
         assert not outputs_match(numpy.array([1.0]), numpy.array([2.0]))
 
-    def test_recursion_stops_after_one_level(self):
-        # Per-agent outputs are at most one sequence deep; nested sequences
-        # with rounding noise deliberately do NOT match.
-        assert not outputs_match([[0.1 + 0.2]], [[0.3]])
-        assert outputs_match([[1.0]], [[1.0]])  # identical reprs still match
+    def test_nested_sequences_compared_recursively(self):
+        # Nested float containers tolerate rounding noise at every level
+        # (a list of per-agent float vectors — e.g. nested averages —
+        # must not mismatch on last-ulp differences).
+        assert outputs_match([[0.1 + 0.2]], [[0.3]])
+        assert outputs_match([[1.0]], [[1.0]])
+        assert not outputs_match([[1.0, 2.0]], [[1.0, 2.5]])
+        assert not outputs_match([[1.0]], [[1.0, 2.0]])
+
+    def test_dicts_compared_key_by_key(self):
+        # Per-value frequency tables are dict outputs with float values.
+        assert outputs_match({1: 0.1 + 0.2, 2: 1.0}, {1: 0.3, 2: 1.0})
+        assert not outputs_match({1: 0.1}, {1: 0.1, 2: 0.2})
+        assert not outputs_match({1: 1.0}, {1: 2.0})
+        # ...and nest inside sequences (per-agent lists of tables).
+        assert outputs_match([{1: 0.1 + 0.2}], [{1: 0.3}])
+
+    def test_recursion_stops_at_depth_cap(self):
+        from repro.analysis.impossibility import OUTPUTS_MATCH_MAX_DEPTH
+
+        shallow = noisy = 0.1 + 0.2
+        clean = 0.3
+        for _ in range(OUTPUTS_MATCH_MAX_DEPTH):
+            noisy, clean = [noisy], [clean]
+        # At the cap the wrapped floats still compare with tolerance...
+        assert outputs_match(noisy, clean)
+        # ...one level beyond, the comparison is exact repr only.
+        assert not outputs_match([noisy], [clean])
+        assert outputs_match([[shallow]], [[shallow]])

@@ -1,0 +1,142 @@
+"""The shared environment-flag parser — one truth table for every knob.
+
+Before :mod:`repro.envflags`, each subsystem parsed its switch its own
+way: ``REPRO_PARALLEL`` accepted only the literal ``"1"``, ``REPRO_MEMO``
+disabled only on the literal ``"0"``, so ``REPRO_PARALLEL=true`` silently
+stayed sequential and ``REPRO_MEMO=false`` silently stayed memoized.
+These tests pin the shared truth table — every documented disable
+spelling (``=0``, ``=false``, empty string, ``no``, ``off``) actually
+disables, every enable spelling enables, and unrecognized values keep
+each flag's documented default — across all four flag consumers plus the
+``REPRO_STORE`` path variable.
+"""
+
+import pytest
+
+from repro.envflags import FALSY, TRUTHY, env_flag, env_path, parse_flag
+
+
+DISABLE_SPELLINGS = ["0", "false", "", "no", "off", "FALSE", "No", " 0 "]
+ENABLE_SPELLINGS = ["1", "true", "yes", "on", "TRUE", "Yes", " 1 "]
+
+
+class TestParseFlag:
+    @pytest.mark.parametrize("raw", DISABLE_SPELLINGS)
+    def test_falsy_spellings(self, raw):
+        assert parse_flag(raw, default=True) is False
+        assert parse_flag(raw, default=False) is False
+
+    @pytest.mark.parametrize("raw", ENABLE_SPELLINGS)
+    def test_truthy_spellings(self, raw):
+        assert parse_flag(raw, default=True) is True
+        assert parse_flag(raw, default=False) is True
+
+    @pytest.mark.parametrize("raw", [None, "2", "maybe", "enabled"])
+    def test_unset_or_unrecognized_keeps_default(self, raw):
+        # "2" kept its historical meaning on both sides of the default:
+        # REPRO_PARALLEL=2 never enabled, REPRO_MEMO=2 never disabled.
+        assert parse_flag(raw, default=True) is True
+        assert parse_flag(raw, default=False) is False
+
+    def test_tables_are_disjoint(self):
+        assert not (FALSY & TRUTHY)
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", DISABLE_SPELLINGS)
+    def test_disable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", default=True) is False
+
+    @pytest.mark.parametrize("raw", ENABLE_SPELLINGS)
+    def test_enable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", default=False) is True
+
+    def test_unset_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG", default=True) is True
+        assert env_flag("REPRO_TEST_FLAG", default=False) is False
+
+
+class TestEnvPath:
+    def test_unset_empty_and_whitespace_mean_no_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_PATH", raising=False)
+        assert env_path("REPRO_TEST_PATH") is None
+        monkeypatch.setenv("REPRO_TEST_PATH", "")
+        assert env_path("REPRO_TEST_PATH") is None
+        monkeypatch.setenv("REPRO_TEST_PATH", "   ")
+        assert env_path("REPRO_TEST_PATH") is None
+
+    def test_set_path_comes_back_verbatim(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_PATH", "/tmp/some-store")
+        assert env_path("REPRO_TEST_PATH") == "/tmp/some-store"
+
+
+class TestConsumers:
+    """The four flag consumers all route through the shared parser."""
+
+    @pytest.mark.parametrize("raw", ["0", "false", ""])
+    def test_parallel_disable_spellings(self, monkeypatch, raw):
+        from repro.core.engine.batch import parallel_enabled_by_env
+
+        monkeypatch.setenv("REPRO_PARALLEL", raw)
+        assert parallel_enabled_by_env() is False
+
+    def test_parallel_enable_spellings(self, monkeypatch):
+        from repro.core.engine.batch import parallel_enabled_by_env
+
+        for raw in ("1", "true", "yes"):
+            monkeypatch.setenv("REPRO_PARALLEL", raw)
+            assert parallel_enabled_by_env() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", ""])
+    def test_memo_disable_spellings(self, monkeypatch, raw):
+        from repro.core.memo import memo_enabled
+
+        monkeypatch.setenv("REPRO_MEMO", raw)
+        assert memo_enabled() is False
+
+    def test_memo_default_on_and_odd_values_stay_on(self, monkeypatch):
+        from repro.core.memo import memo_enabled
+
+        monkeypatch.delenv("REPRO_MEMO", raising=False)
+        assert memo_enabled() is True
+        monkeypatch.setenv("REPRO_MEMO", "2")  # historical: not a disable
+        assert memo_enabled() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", ""])
+    def test_quotient_disable_spellings(self, monkeypatch, raw):
+        from repro.core.engine.quotient import quotient_enabled_by_env
+
+        monkeypatch.setenv("REPRO_QUOTIENT", raw)
+        assert quotient_enabled_by_env() is False
+
+    def test_quotient_enable_spellings(self, monkeypatch):
+        from repro.core.engine.quotient import quotient_enabled_by_env
+
+        for raw in ("1", "on", "True"):
+            monkeypatch.setenv("REPRO_QUOTIENT", raw)
+            assert quotient_enabled_by_env() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", ""])
+    def test_vector_disable_spellings(self, monkeypatch, raw):
+        from repro.core.engine.vector import vector_enabled_by_env
+
+        monkeypatch.setenv("REPRO_VECTOR", raw)
+        assert vector_enabled_by_env() is False
+
+    def test_vector_enable_spellings(self, monkeypatch):
+        from repro.core.engine.vector import vector_enabled_by_env
+
+        for raw in ("1", "yes", "ON"):
+            monkeypatch.setenv("REPRO_VECTOR", raw)
+            assert vector_enabled_by_env() is True
+
+    def test_store_env_empty_means_no_store(self, monkeypatch):
+        from repro.store.cache import STORE_ENV, default_store
+
+        monkeypatch.setenv(STORE_ENV, "")
+        assert default_store() is None
+        monkeypatch.setenv(STORE_ENV, "   ")
+        assert default_store() is None

@@ -1,0 +1,282 @@
+"""Unit tests for the vector backend's plumbing.
+
+The faithfulness contract (vector trajectories == object trajectories)
+lives in ``tests/property/test_vector_properties.py``; these tests pin
+the machinery around it: CSR index arrays, the kernel registry and its
+faithful-subclass guard, activation/fallback bookkeeping, state
+synchronization with the snapshot layer, and error-behavior parity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import GossipAlgorithm, MetropolisAlgorithm, PushSumAlgorithm
+from repro.core.engine.plan import compile_plan
+from repro.core.engine.vector import (
+    CSRPlan,
+    VectorExecution,
+    clear_vector_stats,
+    csr_for,
+    kernel_for,
+    register_kernel,
+    vector_stats,
+)
+from repro.core.execution import Execution
+from repro.graphs.builders import (
+    bidirectional_ring,
+    directed_ring,
+    random_strongly_connected,
+)
+from repro.graphs.digraph import DiGraph
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    clear_vector_stats()
+    yield
+    clear_vector_stats()
+
+
+class TestCSRPlan:
+    def test_matches_plan_arrays(self):
+        g = random_strongly_connected(9, seed=3)
+        plan = compile_plan(g)
+        csr = csr_for(plan)
+        assert csr.n == g.n
+        assert csr.num_messages == plan.num_messages
+        # Receiver j's in-edge slice reproduces the plan's source lists.
+        for j in range(g.n):
+            lo, hi = int(csr.indptr[j]), int(csr.indptr[j + 1])
+            assert list(csr.sources[lo:hi]) == list(plan.sources[j])
+            assert list(csr.ports[lo:hi]) == list(plan.source_ports[j])
+            assert all(int(t) == j for t in csr.targets[lo:hi])
+        assert list(csr.outdegrees) == list(plan.outdegrees)
+        assert list(csr.indegrees) == [len(s) for s in plan.sources]
+
+    def test_cached_on_plan(self):
+        plan = compile_plan(bidirectional_ring(5))
+        assert csr_for(plan) is csr_for(plan)
+
+    def test_distinct_plans_distinct_csr(self):
+        a = compile_plan(bidirectional_ring(5))
+        b = compile_plan(bidirectional_ring(5))
+        assert csr_for(a) is not csr_for(b)
+        assert isinstance(csr_for(a), CSRPlan)
+
+
+class TestKernelRegistry:
+    def test_builtins_resolve(self):
+        assert kernel_for(GossipAlgorithm(max)) is not None
+        assert kernel_for(PushSumAlgorithm()) is not None
+        assert kernel_for(MetropolisAlgorithm()) is not None
+
+    def test_unknown_algorithm_has_no_kernel(self):
+        from repro.core.agent import Algorithm
+
+        class Exotic(Algorithm):
+            def initial_state(self, input_value):
+                return input_value
+
+            def message(self, state):
+                return state
+
+            def transition(self, state, received):
+                return state
+
+            def output(self, state):
+                return state
+
+        assert kernel_for(Exotic()) is None
+
+    def test_unfaithful_subclass_is_refused(self):
+        class Tweaked(PushSumAlgorithm):
+            def transition(self, state, received):
+                return super().transition(state, received)
+
+        assert kernel_for(Tweaked()) is None
+
+    def test_faithful_subclass_is_served(self):
+        # Overriding output (not the round function) keeps the kernel.
+        class Rounded(PushSumAlgorithm):
+            def output(self, state):
+                return round(super().output(state), 3)
+
+        assert kernel_for(Rounded()) is not None
+
+    def test_register_kernel_extension(self):
+        from repro.core.agent import Algorithm
+        from repro.core.engine.vector import VectorKernel
+
+        class Custom(Algorithm):
+            def initial_state(self, input_value):
+                return input_value
+
+            def message(self, state):
+                return state
+
+            def transition(self, state, received):
+                return state
+
+            def output(self, state):
+                return state
+
+        class NullKernel(VectorKernel):
+            pass
+
+        register_kernel(Custom)(NullKernel)
+        assert isinstance(kernel_for(Custom()), NullKernel)
+
+    def test_factory_may_decline(self):
+        from repro.core.agent import Algorithm
+
+        class Declined(Algorithm):
+            def initial_state(self, input_value):
+                return input_value
+
+            def message(self, state):
+                return state
+
+            def transition(self, state, received):
+                return state
+
+            def output(self, state):
+                return state
+
+        register_kernel(Declined)(lambda algorithm: None)
+        assert kernel_for(Declined()) is None
+
+
+class TestActivation:
+    def test_execution_facade_dispatch(self):
+        g = bidirectional_ring(6)
+        ex = Execution(GossipAlgorithm(max), g, inputs=list(range(6)), vector=True)
+        assert isinstance(ex, VectorExecution)
+        assert ex.vector_active
+        assert vector_stats()["activations"] == 1
+
+    def test_quotient_wins_over_vector(self):
+        from repro.core.engine.quotient import QuotientExecution
+
+        g = bidirectional_ring(6)
+        ex = Execution(
+            GossipAlgorithm(max), g, inputs=[1] * 6, quotient=True, vector=True
+        )
+        assert isinstance(ex, QuotientExecution)
+
+    def test_no_kernel_falls_back(self):
+        class Tweaked(PushSumAlgorithm):
+            def transition(self, state, received):
+                return super().transition(state, received)
+
+        g = bidirectional_ring(4)
+        ex = Execution(Tweaked(), g, inputs=[1.0] * 4, vector=True)
+        assert isinstance(ex, VectorExecution)
+        assert not ex.vector_active
+        assert ex.vector_fallback_reason == "no-kernel"
+        stats = vector_stats()
+        assert stats["fallbacks"] == 1
+        assert stats["fallback_reasons"] == {"no-kernel": 1}
+        # ...and the object path still runs correctly.
+        ex.run(6)
+        direct = Execution(Tweaked(), g, inputs=[1.0] * 4).run(6)
+        assert ex.outputs() == direct.outputs()
+
+    def test_pack_failure_falls_back(self):
+        g = bidirectional_ring(4)
+        # Gossip states must be sets; a scalar initial state can't pack.
+        ex = Execution(
+            GossipAlgorithm(max), g, initial_states=[1, 2, 3, 4], vector=True
+        )
+        assert not ex.vector_active
+        assert ex.vector_fallback_reason == "pack-failed"
+
+    def test_round_counters_split_observed(self):
+        g = bidirectional_ring(5)
+        ex = Execution(GossipAlgorithm(max), g, inputs=list(range(5)), vector=True)
+        ex.run(3)
+        assert vector_stats()["vector_rounds"] == 3
+
+        from repro.core.engine.instrumentation import MessageCountObserver
+
+        ex.attach(MessageCountObserver())
+        ex.run(2)
+        stats = vector_stats()
+        assert stats["vector_rounds"] == 3
+        assert stats["observed_rounds"] == 2
+
+
+class TestStateSync:
+    def test_states_setter_repacks(self):
+        g = bidirectional_ring(4)
+        ex = Execution(
+            GossipAlgorithm(max), g, inputs=[1, 2, 3, 4], vector=True
+        )
+        ex.run(1)
+        ex.states = [frozenset([9])] * 4
+        assert ex.vector_active
+        ex.run(1)
+        assert ex.outputs() == [9] * 4
+
+    def test_states_setter_demotes_on_unpackable(self):
+        g = bidirectional_ring(4)
+        ex = Execution(GossipAlgorithm(max), g, inputs=[1, 2, 3, 4], vector=True)
+        ex.run(2)
+        ex.states = [object()] * 4  # not iterable sets: leaves the kernel
+        assert not ex.vector_active
+        assert ex.vector_fallback_reason == "pack-failed"
+        assert ex.round_number == 2
+
+    def test_snapshot_roundtrip(self):
+        g = random_strongly_connected(7, seed=2)
+        inputs = [float(v + 1) for v in range(7)]
+        ex = Execution(PushSumAlgorithm(), g, inputs=inputs, vector=True)
+        ex.run(5)
+        snap = ex.snapshot()
+
+        resumed = Execution(PushSumAlgorithm(), g, inputs=inputs, vector=True)
+        resumed.restore(snap)
+        assert resumed.round_number == 5
+        resumed.run(3)
+
+        straight = Execution(PushSumAlgorithm(), g, inputs=inputs, vector=True).run(8)
+        assert resumed.states == straight.states
+
+    def test_round_number_tracks_vector_rounds(self):
+        g = bidirectional_ring(5)
+        ex = Execution(GossipAlgorithm(max), g, inputs=list(range(5)), vector=True)
+        assert ex.round_number == 0
+        ex.step()
+        ex.step()
+        assert ex.round_number == 2
+
+
+class TestErrorParity:
+    def test_zero_outdegree_raises_like_object_engine(self):
+        # Vertex 2 sends to nobody (no self-loop): Push-Sum's sending
+        # function divides by outdegree on both paths.
+        g = DiGraph(
+            3, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)], ensure_self_loops=False
+        )
+        bad = DiGraph(3, [(0, 1), (1, 0), (1, 2)], ensure_self_loops=False)
+        inputs = [1.0, 2.0, 3.0]
+        direct = Execution(PushSumAlgorithm(), bad, inputs=inputs, check_model=False)
+        vec = Execution(
+            PushSumAlgorithm(), bad, inputs=inputs, check_model=False, vector=True
+        )
+        assert vec.vector_active
+        with pytest.raises(ZeroDivisionError):
+            direct.step()
+        with pytest.raises(ZeroDivisionError):
+            vec.step()
+
+    def test_model_checks_still_enforced(self):
+        from repro.core.models import CommunicationModel
+
+        class SymGossip(GossipAlgorithm):
+            model = CommunicationModel.SYMMETRIC
+
+        asym = directed_ring(5)
+        ex = Execution(SymGossip(max), asym, inputs=list(range(5)), vector=True)
+        assert ex.vector_active
+        with pytest.raises(ValueError, match="not symmetric"):
+            ex.step()
