@@ -6,9 +6,13 @@ Usage::
     python -m repro --table 1       # just Table 1
     python -m repro --n 8 --seed 3  # different network size / randomness
     python -m repro --json          # machine-readable certificate (+ manifest)
+    python -m repro run configs/table1.json
+                                    # run a declarative scenario config
+    python -m repro run configs/onebit_counting.json --pretty
     python -m repro trace --n 8 --rounds 20 --out trace.jsonl
                                     # round-level JSONL trace of one execution
     python -m repro store --root ./exp submit table2 --n 5
+    python -m repro store --root ./exp submit scenario --config cfg.json
     python -m repro store --root ./exp run          # crash-safe worker loop
     python -m repro store --root ./exp status       # queue + cache stats
                                     # durable, resumable experiment runs
@@ -208,6 +212,74 @@ def trace_main(argv=None) -> int:
     return 0
 
 
+def run_main(argv=None) -> int:
+    """``python -m repro run`` — execute a declarative scenario config.
+
+    Loads and validates the config (every failure mode is a one-line
+    typed error naming the file and key — exit code 2, no traceback),
+    runs it through the engine, and emits the scenario's deterministic
+    JSON document (byte-identical across engine modes).  Exit code 0
+    when the document's verdict is PASS, 1 when it is FAIL.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description=(
+            "Run a declarative scenario config (JSON or TOML): one of the "
+            "paper's tables, or a grid of graph families × sizes × seeds "
+            "× probes under one communication model.  Emits the "
+            "scenario's deterministic JSON document."
+        ),
+    )
+    parser.add_argument("config", help="scenario config file (.json or .toml)")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON document to this path instead of stdout",
+    )
+    parser.add_argument(
+        "--pretty",
+        action="store_true",
+        help="print the rendered table instead of the JSON document",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="ROOT",
+        help=(
+            "serve and persist units through the durable result store at "
+            "this root (default: $REPRO_STORE when set, else no store)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    from repro.scenarios import (
+        ScenarioError,
+        document_bytes,
+        format_scenario_document,
+        load_scenario,
+        run_scenario,
+    )
+
+    try:
+        scenario = load_scenario(args.config)
+        document = run_scenario(scenario, store=args.store)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    payload = document_bytes(document)
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(payload)
+        print(f"wrote {len(payload)} bytes to {args.out}")
+    if args.pretty:
+        print(format_scenario_document(document))
+    elif not args.out:
+        sys.stdout.buffer.write(payload)
+        sys.stdout.buffer.flush()
+    return 0 if document["summary"]["verdict"] == "PASS" else 1
+
+
 def store_main(argv=None) -> int:
     """``python -m repro store`` — the durable experiment store CLI.
 
@@ -236,7 +308,7 @@ def store_main(argv=None) -> int:
 
     p_submit = sub.add_parser("submit", help="enqueue a job (idempotent)")
     p_submit.add_argument(
-        "kind", choices=["table1", "table2", "certificate", "sweep"]
+        "kind", choices=["table1", "table2", "certificate", "sweep", "scenario"]
     )
     p_submit.add_argument("--n", type=int, default=None, help="network size")
     p_submit.add_argument("--seed", type=int, default=0, help="random-graph seed")
@@ -246,6 +318,16 @@ def store_main(argv=None) -> int:
         default=[],
         metavar="N,D,SEED,ROUNDS",
         help="one sweep configuration (repeatable; sweep jobs only)",
+    )
+    p_submit.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help=(
+            "scenario config file to submit (scenario jobs only; the "
+            "validated config is copied into the job record, so later "
+            "edits to the file do not change the queued job)"
+        ),
     )
     p_submit.add_argument(
         "--max-attempts", type=int, default=3, help="retry budget before parking as failed"
@@ -294,7 +376,18 @@ def store_main(argv=None) -> int:
     queue = open_queue(args.root)
 
     if args.command == "submit":
-        if args.kind == "sweep":
+        if args.kind == "scenario":
+            if not args.config:
+                parser.error("scenario jobs need --config FILE")
+            from repro.scenarios import ScenarioError, load_scenario
+
+            try:
+                scenario = load_scenario(args.config)
+            except ScenarioError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            params = {"config": scenario.normalized()}
+        elif args.kind == "sweep":
             if not args.spec:
                 parser.error("sweep jobs need at least one --spec N,D,SEED,ROUNDS")
             specs = [[int(x) for x in spec.split(",")] for spec in args.spec]
@@ -370,6 +463,8 @@ def store_main(argv=None) -> int:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "store":
@@ -381,8 +476,9 @@ def main(argv=None) -> int:
             "Reproduce Tables 1 and 2 of 'Know your audience' "
             "(Charron-Bost & Lambein-Monette, PODC 2024) by running the "
             "paper's algorithms and impossibility certificates.  The "
-            "'trace' subcommand instead emits a round-level JSONL trace "
-            "of one execution."
+            "'run' subcommand executes a declarative scenario config, "
+            "the 'trace' subcommand emits a round-level JSONL trace of "
+            "one execution, and 'store' drives durable experiment runs."
         ),
     )
     parser.add_argument("--table", choices=["1", "2", "both"], default="both")

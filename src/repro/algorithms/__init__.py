@@ -11,6 +11,9 @@ Dynamic pipeline (Section 5): :mod:`.push_sum` (Theorem 5.2),
 :mod:`.metropolis` (Metropolis / Lazy Metropolis averaging),
 :mod:`.rational` (nearest rational in ℚ_N), :mod:`.history_tree`
 (Di Luna–Viglietta-style exact counting for symmetric dynamic networks).
+
+Beyond the paper: :mod:`.onebit` — the one-bit broadcast scenario pack
+(OR-flooding and indegree census) for the fifth communication model.
 """
 
 from repro.algorithms.gossip import GossipAlgorithm
@@ -37,6 +40,7 @@ from repro.algorithms.multiset_static import (
     leader_algorithm,
 )
 from repro.algorithms.history_tree import HistoryTreeAlgorithm
+from repro.algorithms.onebit import OneBitCensusAlgorithm, OneBitFloodingAlgorithm
 
 __all__ = [
     "ConstantWeightAveraging",
@@ -45,6 +49,8 @@ __all__ = [
     "GossipAlgorithm",
     "HistoryTreeAlgorithm",
     "MetropolisAlgorithm",
+    "OneBitCensusAlgorithm",
+    "OneBitFloodingAlgorithm",
     "OutdegreeViewAlgorithm",
     "PortViewAlgorithm",
     "PushSumAlgorithm",

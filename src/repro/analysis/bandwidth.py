@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
-from repro.core.agent import BroadcastAlgorithm, OutdegreeAlgorithm, OutputPortAlgorithm
+from repro.core.agent import (
+    BroadcastAlgorithm,
+    OneBitAlgorithm,
+    OutdegreeAlgorithm,
+    OutputPortAlgorithm,
+)
 from repro.core.execution import Execution
 from repro.graphs.views import View
 
@@ -73,6 +78,8 @@ def max_message_units(execution: Execution) -> int:
         if isinstance(algorithm, OutputPortAlgorithm):
             msgs = algorithm.messages(state, g.outdegree(v))
             worst = max(worst, max(payload_units(m) for m in msgs))
+        elif isinstance(algorithm, OneBitAlgorithm):
+            worst = max(worst, 1)  # one bit per round, by the model
         elif isinstance(algorithm, OutdegreeAlgorithm):
             worst = max(worst, payload_units(algorithm.message(state, g.outdegree(v))))
         elif isinstance(algorithm, BroadcastAlgorithm):
@@ -96,6 +103,8 @@ class _WouldSendObserver:
             for state, d in zip(record.states, degrees):
                 msgs = algorithm.messages(state, d)
                 worst = max(worst, max(payload_units(m) for m in msgs))
+        elif isinstance(algorithm, OneBitAlgorithm):
+            worst = max(worst, 1)  # one bit per round, by the model
         elif isinstance(algorithm, OutdegreeAlgorithm):
             for state, d in zip(record.states, degrees):
                 worst = max(worst, payload_units(algorithm.message(state, d)))

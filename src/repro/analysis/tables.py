@@ -686,6 +686,65 @@ def reproduce_table2(
     )
 
 
+def paper_table_document(
+    table: int,
+    n: Optional[int] = None,
+    seed: int = 0,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
+    store=None,
+    quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Dict[str, Any]:
+    """The deterministic document of one paper table — the generic,
+    DSL-backed builder behind ``configs/table1.json`` / ``table2.json``
+    and the durable scenario jobs.
+
+    Assembles exactly the bytes the hard-coded reproduction paths and the
+    PR-5 table jobs produce:
+    :func:`repro.store.jobs.table_document` over the
+    :func:`cell_to_payload` records, in :func:`table_specs` order — so a
+    scenario config, a ``store submit table1`` job, and a direct
+    ``reproduce_table1`` call all emit byte-identical documents (engine
+    modes included: quotient/vector/parallel change how cells are
+    computed, never their payloads).
+
+    ``progress(done, total)`` — when given — forces the sequential
+    cell-by-cell path and is invoked after every finished cell; the
+    durable scenario job runner heartbeats its queue lease there.
+    """
+    from repro.store.cache import resolve_store
+    from repro.store.jobs import table_document
+
+    if table not in (1, 2):
+        raise ValueError(f"table must be 1 or 2, got {table!r}")
+    dynamic = table == 2
+    if n is None:
+        n = 5 if dynamic else 6
+    store = resolve_store(store)
+    specs = table_specs(dynamic, n, seed)
+    if progress is None:
+        results = _run_cells(
+            specs, parallel, workers, store=store, quotient=quotient, vector=vector
+        )
+    else:
+        plan_cache = PlanCache()
+        results = []
+        for done, (dyn, model, knowledge, cell_n, cell_seed) in enumerate(specs, start=1):
+            results.append(
+                compute_cell(
+                    dyn, model, knowledge, cell_n, cell_seed,
+                    plan_cache=plan_cache, store=store, quotient=quotient,
+                    vector=vector,
+                )
+            )
+            progress(done, len(specs))
+    return table_document(
+        f"table{table}", n, seed, [cell_to_payload(r) for r in results]
+    )
+
+
 def format_results(results: List[CellResult], title: str) -> str:
     models = TABLE2_MODELS if results[0].dynamic else TABLE1_MODELS
     headers = ["help \\ model"] + [m.value for m in models]

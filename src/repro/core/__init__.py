@@ -15,6 +15,7 @@ from repro.core.models import CommunicationModel
 from repro.core.agent import (
     Algorithm,
     BroadcastAlgorithm,
+    OneBitAlgorithm,
     OutdegreeAlgorithm,
     OutputPortAlgorithm,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "MemoCache",
     "MetricsRegistry",
     "NetworkClassSpec",
+    "OneBitAlgorithm",
     "OutdegreeAlgorithm",
     "OutputPortAlgorithm",
     "PlanCache",

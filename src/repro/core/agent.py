@@ -10,7 +10,10 @@ Subclass the variant matching your communication model:
 * :class:`BroadcastAlgorithm` — ``message(state)``;
 * :class:`OutdegreeAlgorithm` — ``message(state, outdegree)``;
 * :class:`OutputPortAlgorithm` — ``messages(state, outdegree)`` returning
-  one message per port.
+  one message per port;
+* :class:`OneBitAlgorithm` — ``bit(state, outdegree)`` returning the one
+  bit cast to every recipient (the transport rejects anything outside
+  ``{0, 1}``).
 
 ``transition(state, received)`` receives the *multiset* of messages as a
 tuple in executor-scrambled order; a correct anonymous algorithm must not
@@ -82,3 +85,21 @@ class OutputPortAlgorithm(Algorithm):
     @abc.abstractmethod
     def messages(self, state: Any, outdegree: int) -> Sequence[Any]:
         """One message per output port ``0 .. outdegree-1``."""
+
+
+class OneBitAlgorithm(Algorithm):
+    """Sending function ``σ : Q × ℕ -> {0, 1}`` — one-bit broadcast.
+
+    The single bit is cast identically to every recipient (isotropic, like
+    outdegree awareness) but the message alphabet is just ``{0, 1}``: the
+    transport validates every emitted bit and raises on anything else, so
+    an algorithm cannot smuggle wider payloads through the model.
+    ``transition`` receives the multiset of in-edge bits as a tuple of
+    ints in executor-scrambled order.
+    """
+
+    model = CommunicationModel.ONE_BIT_BROADCAST
+
+    @abc.abstractmethod
+    def bit(self, state: Any, outdegree: int) -> int:
+        """The one bit (``0`` or ``1``) broadcast this round."""

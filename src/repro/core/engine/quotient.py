@@ -24,6 +24,12 @@ or would not pay:
 * the network is dynamic (bases would change per round);
 * the model is ``OUTPUT_PORT_AWARE`` (port numberings do not commute
   with fibrations, so per-port sends on the base are not faithful);
+* the model is not *outdegree-message-preserving*
+  (:attr:`~repro.core.models.CommunicationModel.outdegree_message_preserving`
+  is ``False`` — today exactly ``ONE_BIT_BROADCAST``): the bit-width
+  restriction is a channel property the quotient layer does not assume
+  to commute with fibrations, so one-bit runs always take this checked
+  fallback instead of activating;
 * the base is trivial — ``base.n / g.n`` above the ratio threshold
   (default ``0.5``, overridable per call or via ``REPRO_QUOTIENT_RATIO``);
 * the model sees outdegrees but the fibration does not preserve them
@@ -183,6 +189,14 @@ class QuotientExecution(Execution):
             # OUTPUT_PORT_AWARE: port numberings need not commute with the
             # fibration, so per-port sends on the base are not faithful.
             self.quotient_fallback_reason = _record_fallback("output-port-model")
+            return
+        if not model.outdegree_message_preserving:
+            # ONE_BIT_BROADCAST: the single-bit channel restriction is not
+            # assumed faithful across a fibration, so the quotient layer
+            # never activates for it — the conservative checked fallback.
+            self.quotient_fallback_reason = _record_fallback(
+                "model-not-message-preserving"
+            )
             return
         graph: DiGraph = self.network.graph_at(1)
         mb = memoized_minimum_base(graph)

@@ -26,6 +26,7 @@ from typing import Any, List, Optional, Sequence, Union
 from repro.core.agent import (
     Algorithm,
     BroadcastAlgorithm,
+    OneBitAlgorithm,
     OutdegreeAlgorithm,
     OutputPortAlgorithm,
 )
@@ -86,6 +87,19 @@ class ReferenceExecution:
                     f"{alg.name()} produced {len(msgs)} messages for outdegree {d}"
                 )
             return msgs
+        if isinstance(alg, OneBitAlgorithm):
+            # Same contract as the engine's OneBitTransport, restated
+            # independently (this interpreter shares no engine code):
+            # booleans normalize, anything outside {0, 1} is rejected.
+            b = alg.bit(self.states[v], d)
+            if b is True or b is False:
+                return int(b)
+            if type(b) is int and b in (0, 1):
+                return b
+            raise ValueError(
+                f"{alg.name()} emitted {b!r}; the one-bit broadcast "
+                "model only carries 0 or 1"
+            )
         if isinstance(alg, OutdegreeAlgorithm):
             return alg.message(self.states[v], d)
         if isinstance(alg, BroadcastAlgorithm):

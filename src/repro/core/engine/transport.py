@@ -27,10 +27,32 @@ from typing import Any, List, Sequence
 from repro.core.agent import (
     Algorithm,
     BroadcastAlgorithm,
+    OneBitAlgorithm,
     OutdegreeAlgorithm,
     OutputPortAlgorithm,
 )
 from repro.core.engine.plan import DeliveryPlan
+
+
+def validate_bit(algorithm: Algorithm, value: Any) -> int:
+    """Normalize a one-bit payload to ``int``; reject anything else.
+
+    Booleans are accepted (they are how predicates naturally read) and
+    normalized so that delivered multisets — and hence state trajectories
+    and traces — never depend on whether an algorithm said ``True`` or
+    ``1``.  Every other payload (wider ints, floats, strings …) raises:
+    the bit-width restriction is the model.
+    """
+    if value is True:
+        return 1
+    if value is False:
+        return 0
+    if type(value) is int and value in (0, 1):
+        return value
+    raise ValueError(
+        f"{algorithm.name()} emitted {value!r}; the one-bit broadcast "
+        "model only carries 0 or 1"
+    )
 
 
 class Transport(abc.ABC):
@@ -66,6 +88,17 @@ class OutdegreeTransport(Transport):
         return [message(s, d) for s, d in zip(states, plan.outdegrees)]
 
 
+class OneBitTransport(Transport):
+    """One-bit broadcast: ``σ : Q × ℕ -> {0, 1}``, isotropic, validated."""
+
+    def outgoing(self, algorithm, states, plan):
+        bit = algorithm.bit
+        return [
+            validate_bit(algorithm, bit(s, d))
+            for s, d in zip(states, plan.outdegrees)
+        ]
+
+
 class OutputPortTransport(Transport):
     """Output port awareness: ``σ : Q × ℕ -> ⋃ M^k``, one payload per port."""
 
@@ -93,6 +126,8 @@ def transport_for(algorithm: Algorithm) -> Transport:
     """Resolve the flavor dispatch once, at execution-construction time."""
     if isinstance(algorithm, OutputPortAlgorithm):
         return OutputPortTransport()
+    if isinstance(algorithm, OneBitAlgorithm):
+        return OneBitTransport()
     if isinstance(algorithm, OutdegreeAlgorithm):
         return OutdegreeTransport()
     if isinstance(algorithm, BroadcastAlgorithm):

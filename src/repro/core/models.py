@@ -1,6 +1,6 @@
-"""The four communication models of Section 2.2.
+"""The communication models: Section 2.2's four, plus one-bit broadcast.
 
-All four share the same synchronous round structure (send, receive,
+All models share the same synchronous round structure (send, receive,
 transition); they differ only in what the sending function may depend on:
 
 * ``SIMPLE_BROADCAST`` — the message depends on the local state alone; the
@@ -16,6 +16,12 @@ transition); they differ only in what the sending function may depend on:
 * ``OUTPUT_PORT_AWARE`` — out-edges carry distinct local port labels
   ``0 .. d⁻-1`` and each port may get a different message.  Only meaningful
   for static networks (fixed labellings).
+* ``ONE_BIT_BROADCAST`` — the bandwidth-starved variant of
+  Blanc/Di Luna/Viglietta (see PAPERS.md): the sending function may see
+  the current outdegree, but the message alphabet is ``{0, 1}`` — a
+  single bit cast identically to every recipient per round.  The first
+  model pack beyond the paper's four; the engine delivers the full
+  multiset of in-edge bits each round.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ class CommunicationModel(enum.Enum):
     OUTDEGREE_AWARE = "outdegree awareness"
     SYMMETRIC = "symmetric communications"
     OUTPUT_PORT_AWARE = "output port awareness"
+    ONE_BIT_BROADCAST = "one-bit broadcast"
 
     @property
     def isotropic(self) -> bool:
@@ -49,7 +56,24 @@ class CommunicationModel(enum.Enum):
         return self in (
             CommunicationModel.OUTDEGREE_AWARE,
             CommunicationModel.OUTPUT_PORT_AWARE,
+            CommunicationModel.ONE_BIT_BROADCAST,
         )
+
+    @property
+    def outdegree_message_preserving(self) -> bool:
+        """Whether outdegree-preserving fibrations are assumed to carry the
+        model's messages faithfully (the quotient layer's activation gate).
+
+        The paper's isotropic models satisfy this by construction: the
+        sending function sees at most the outdegree, so a fibration that
+        preserves outdegrees reproduces every payload on the base.  The
+        one-bit model is *not* assumed to — its bit-width restriction is a
+        bandwidth property of the channel, not of the sending function,
+        and the quotient layer makes no faithfulness claim for it, taking
+        the checked fallback instead (see
+        :mod:`repro.core.engine.quotient`).
+        """
+        return self is not CommunicationModel.ONE_BIT_BROADCAST
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

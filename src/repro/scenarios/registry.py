@@ -1,0 +1,188 @@
+"""What a scenario config may name: graph families, input patterns, probes.
+
+The schema layer validates config strings against these tables (so every
+typo fails at load time with the key and file in the message), and the
+runner compiles the validated names back into graphs, input vectors, and
+:class:`~repro.core.engine.batch.BatchJob` algorithms.  Everything here
+is deterministic in ``(n, seed)`` — the registries introduce no
+randomness of their own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.models import CommunicationModel
+
+
+# ---------------------------------------------------------------------- #
+# graph families
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """One buildable topology family: ``build(n, seed)`` plus an optional
+    per-size constraint (``check_size(n)`` returns an error message or
+    ``None``)."""
+
+    name: str
+    build: Callable[[int, int], Any]
+    check_size: Optional[Callable[[int], Optional[str]]] = None
+
+
+def _build_complete(n: int, seed: int):
+    from repro.graphs.builders import complete_graph
+
+    return complete_graph(n)
+
+
+def _build_ring(n: int, seed: int):
+    from repro.graphs.builders import bidirectional_ring
+
+    return bidirectional_ring(n)
+
+
+def _build_directed_ring(n: int, seed: int):
+    from repro.graphs.builders import directed_ring
+
+    return directed_ring(n)
+
+
+def _build_star(n: int, seed: int):
+    from repro.graphs.builders import star_graph
+
+    return star_graph(n)
+
+
+def _build_hypercube(n: int, seed: int):
+    from repro.graphs.builders import hypercube
+
+    return hypercube(n.bit_length() - 1)
+
+
+def _check_hypercube(n: int) -> Optional[str]:
+    if n < 2 or n & (n - 1):
+        return f"hypercube sizes must be powers of two >= 2, got {n}"
+    return None
+
+
+def _build_random(n: int, seed: int):
+    from repro.graphs.builders import random_strongly_connected
+
+    return random_strongly_connected(n, seed=seed)
+
+
+GRAPH_FAMILIES: Dict[str, GraphFamily] = {
+    family.name: family
+    for family in (
+        GraphFamily("complete", _build_complete),
+        GraphFamily("ring", _build_ring),
+        GraphFamily("directed-ring", _build_directed_ring),
+        GraphFamily("star", _build_star),
+        GraphFamily("hypercube", _build_hypercube, _check_hypercube),
+        GraphFamily("random", _build_random),
+    )
+}
+
+
+# ---------------------------------------------------------------------- #
+# input patterns
+# ---------------------------------------------------------------------- #
+
+def _bits_alternating(n: int, seed: int) -> List[int]:
+    return [i % 2 for i in range(n)]
+
+
+def _bits_one_hot(n: int, seed: int) -> List[int]:
+    return [1 if i == 0 else 0 for i in range(n)]
+
+
+def _bits_zeros(n: int, seed: int) -> List[int]:
+    return [0] * n
+
+
+def _bits_seeded(n: int, seed: int) -> List[int]:
+    rng = random.Random(seed * 1_000_003 + 17)
+    return [rng.randint(0, 1) for _ in range(n)]
+
+
+INPUT_PATTERNS: Dict[str, Callable[[int, int], List[int]]] = {
+    "alternating": _bits_alternating,
+    "one-hot": _bits_one_hot,
+    "zeros": _bits_zeros,
+    "seeded": _bits_seeded,
+}
+
+
+# ---------------------------------------------------------------------- #
+# probes
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Probe:
+    """One grid probe: the algorithm, its model, the convergence target
+    as a function of the inputs, and the oracle saying where the probe is
+    *expected* to converge (a row is ``consistent`` when measurement and
+    oracle agree — including expected failures)."""
+
+    name: str
+    model: CommunicationModel
+    factory: Callable[[], Any]
+    target: Callable[[List[int], int], Any]
+    oracle: Callable[[str, int], bool]
+
+
+def _make_or_flood():
+    from repro.algorithms.onebit import OneBitFloodingAlgorithm
+
+    return OneBitFloodingAlgorithm()
+
+
+def _make_census():
+    from repro.algorithms.onebit import OneBitCensusAlgorithm
+
+    return OneBitCensusAlgorithm()
+
+
+def _make_gossip_max():
+    from repro.algorithms.gossip import GossipAlgorithm
+
+    return GossipAlgorithm(max)
+
+
+PROBES: Dict[str, Probe] = {
+    probe.name: probe
+    for probe in (
+        # OR-flooding converges to the disjunction on every strongly
+        # connected network — the model pack's positive probe.
+        Probe(
+            "or-flood",
+            CommunicationModel.ONE_BIT_BROADCAST,
+            _make_or_flood,
+            target=lambda bits, n: max(bits) if bits else 0,
+            oracle=lambda family, n: True,
+        ),
+        # The census counts ones exactly when indegree == n, i.e. on
+        # complete graphs with self-loops — everywhere else the expected
+        # verdict is failure (one bit per round does not carry a global
+        # multiset through a bottleneck).
+        Probe(
+            "census",
+            CommunicationModel.ONE_BIT_BROADCAST,
+            _make_census,
+            target=lambda bits, n: (n, sum(bits)),
+            oracle=lambda family, n: family == "complete",
+        ),
+        # Plain set-flooding gossip under simple broadcast — proves the
+        # grid kind is not one-bit-specific.
+        Probe(
+            "gossip-max",
+            CommunicationModel.SIMPLE_BROADCAST,
+            _make_gossip_max,
+            target=lambda bits, n: max(bits) if bits else 0,
+            oracle=lambda family, n: True,
+        ),
+    )
+}

@@ -1,0 +1,270 @@
+"""Compiling validated scenarios onto the engine and running them.
+
+A ``"table"`` scenario compiles to the existing cell machinery
+(:func:`repro.analysis.tables.paper_table_document`), so its document is
+byte-identical to the hard-coded ``reproduce_table1/2`` paths and to the
+durable table jobs — the golden-config tests pin exactly that.
+
+A ``"grid"`` scenario compiles each (graph family × size × seed × probe)
+unit to one :class:`~repro.core.engine.batch.BatchJob` driven by the δ0
+detector, sharing one :class:`~repro.core.engine.plan.PlanCache` across
+the grid sequentially or fanning units over the process pool when the
+config (or ``REPRO_PARALLEL``) asks for it.  Rows are served from the
+durable :class:`~repro.store.cache.ResultStore` when one is configured
+— row keys bind the unit parameters and the engine generation, never the
+engine flags, so accelerated and direct runs share one cache.
+
+Documents are pure functions of the rows (no timestamps, no hostnames);
+:func:`document_bytes` is the single canonical serialization everything
+— CLI, tests, CI artifacts — emits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import ENGINE_VERSION, BatchJob, PlanCache, run_batch
+from repro.scenarios.registry import GRAPH_FAMILIES, INPUT_PATTERNS, PROBES
+from repro.scenarios.schema import Scenario
+
+
+def document_bytes(document: Dict[str, Any]) -> bytes:
+    """The canonical byte serialization of a scenario document (sorted
+    keys, two-space indent, trailing newline) — what ``python -m repro
+    run`` writes and the golden tests compare."""
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def grid_units(scenario: Scenario) -> List[Tuple[str, int, int, str]]:
+    """The (family, n, seed, probe) units of a grid scenario, in document
+    order — the unit list both the runner and the durable job iterate."""
+    return [
+        (graph.family, n, seed, probe)
+        for graph in scenario.graphs
+        for n in graph.sizes
+        for seed in scenario.seeds
+        for probe in scenario.probes
+    ]
+
+
+def _json_safe(value: Any) -> Any:
+    """Tuples become lists so computed rows match their store round-trip."""
+    if isinstance(value, tuple):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _row_params(scenario: Scenario, family: str, n: int, seed: int, probe: str) -> Dict[str, Any]:
+    """The store-key parameters of one grid row: everything that
+    determines the row's content, nothing that only picks an engine mode
+    (and not the scenario name — configs sharing units share cache)."""
+    return {
+        "model": scenario.model.value,
+        "knowledge": None if scenario.knowledge is None else scenario.knowledge.value,
+        "rounds": scenario.rounds,
+        "inputs": scenario.inputs,
+        "graph": family,
+        "n": n,
+        "seed": seed,
+        "probe": probe,
+    }
+
+
+def compute_grid_row(
+    scenario: Scenario,
+    family: str,
+    n: int,
+    seed: int,
+    probe_name: str,
+    plan_cache: Optional[PlanCache] = None,
+    store=None,
+    quotient: Optional[bool] = None,
+    vector: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """One grid unit: build the graph and inputs, run the probe under the
+    δ0 detector, compare the verdict with the probe's oracle.  Served
+    from ``store`` when warm (same fetch-or-compute contract as table
+    cells)."""
+    probe = PROBES[probe_name]
+
+    def compute() -> Dict[str, Any]:
+        graph = GRAPH_FAMILIES[family].build(n, seed)
+        bits = INPUT_PATTERNS[scenario.inputs](n, seed)
+        target = probe.target(bits, n)
+        job = BatchJob(
+            probe.factory(),
+            graph,
+            inputs=bits,
+            runner="stable",
+            rounds=scenario.rounds,
+            patience=2,
+            target=target,
+            label=f"{probe_name}@{family}/n={n}/seed={seed}",
+        )
+        (result,) = run_batch(
+            [job], plan_cache=plan_cache, quotient=quotient, vector=vector
+        )
+        report = result.report
+        expected = probe.oracle(family, n)
+        return {
+            "probe": probe_name,
+            "graph": family,
+            "n": n,
+            "seed": seed,
+            "inputs": scenario.inputs,
+            "target": _json_safe(target),
+            "converged": report.converged,
+            "stabilization_round": report.stabilization_round,
+            "rounds_run": report.rounds_run,
+            "expected_convergence": expected,
+            "consistent": report.converged == expected,
+        }
+
+    if store is None:
+        return compute()
+    from repro.store.cache import fetch_or_compute
+
+    return fetch_or_compute(
+        store,
+        "scenario-row",
+        _row_params(scenario, family, n, seed, probe_name),
+        compute,
+        lambda row: row,
+        lambda payload: payload,
+    )
+
+
+def _grid_task(spec) -> Dict[str, Any]:
+    """One grid row from a picklable spec — the unit the pool fans out.
+    Mirrors :func:`repro.analysis.tables._cell_task`: workers open the
+    same on-disk store by root (atomic writes make concurrent fills
+    safe) and keep their own plan caches."""
+    scenario, family, n, seed, probe, store_root, quotient, vector = spec
+    store = None
+    if store_root:
+        from repro.store.cache import ResultStore
+
+        store = ResultStore(store_root)
+    return compute_grid_row(
+        scenario, family, n, seed, probe, store=store, quotient=quotient,
+        vector=vector,
+    )
+
+
+def scenario_document(scenario: Scenario, rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Assemble the deterministic document of one grid scenario — same
+    discipline as :func:`repro.store.jobs.table_document`: a pure
+    function of the rows, so interrupted-and-resumed runs emit the same
+    bytes as clean ones."""
+    consistent = sum(1 for row in rows if row["consistent"])
+    return {
+        "kind": "scenario",
+        "engine_version": ENGINE_VERSION,
+        "scenario": scenario.name,
+        "parameters": scenario.identity(),
+        "rows": rows,
+        "summary": {
+            "rows": len(rows),
+            "consistent": consistent,
+            "verdict": "PASS" if consistent == len(rows) else "FAIL",
+        },
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    store=None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Dict[str, Any]:
+    """Execute a validated scenario; returns its deterministic document.
+
+    ``store`` follows the harness convention (``None`` defers to
+    ``REPRO_STORE``; a path or :class:`~repro.store.cache.ResultStore`
+    makes units durable).  ``progress(done, total)`` is called after each
+    finished unit on the sequential path — the durable scenario job
+    heartbeats its lease there (it forces sequential execution, exactly
+    like the table jobs).
+    """
+    from repro.store.cache import resolve_store
+
+    store = resolve_store(store)
+    engine = scenario.engine
+    if scenario.kind == "table":
+        from repro.analysis.tables import paper_table_document
+
+        return paper_table_document(
+            scenario.table,
+            n=scenario.n,
+            seed=scenario.seed,
+            parallel=engine.parallel,
+            workers=engine.workers,
+            store=store,
+            quotient=engine.quotient,
+            vector=engine.vector,
+            progress=progress,
+        )
+
+    units = grid_units(scenario)
+    parallel = engine.parallel
+    if parallel is None:
+        from repro.core.engine.batch import parallel_enabled_by_env
+
+        parallel = parallel_enabled_by_env()
+    if parallel and progress is None:
+        from repro.core.engine.parallel import parallel_map
+
+        root = getattr(store, "root", None)
+        rows = parallel_map(
+            _grid_task,
+            [
+                (scenario, family, n, seed, probe, root, engine.quotient, engine.vector)
+                for family, n, seed, probe in units
+            ],
+            workers=engine.workers,
+        )
+    else:
+        plan_cache = PlanCache()
+        rows = []
+        for done, (family, n, seed, probe) in enumerate(units, start=1):
+            rows.append(
+                compute_grid_row(
+                    scenario, family, n, seed, probe, plan_cache=plan_cache,
+                    store=store, quotient=engine.quotient, vector=engine.vector,
+                )
+            )
+            if progress is not None:
+                progress(done, len(units))
+    return scenario_document(scenario, rows)
+
+
+def format_scenario_document(document: Dict[str, Any]) -> str:
+    """Render a scenario document for humans (``python -m repro run
+    --pretty``): the paper-table grid for table documents, one row per
+    grid unit otherwise."""
+    if document["kind"] in ("table1", "table2"):
+        from repro.analysis.tables import cell_from_payload, format_results
+
+        titles = {
+            "table1": "Table 1 — static strongly connected networks",
+            "table2": "Table 2 — dynamic networks with finite dynamic diameter",
+        }
+        results = [cell_from_payload(cell) for cell in document["cells"]]
+        return format_results(results, titles[document["kind"]])
+    from repro.analysis.reporting import render_table
+
+    headers = ["probe", "graph", "n", "seed", "converged", "expected", "verdict"]
+    rows = [
+        [
+            row["probe"],
+            row["graph"],
+            str(row["n"]),
+            str(row["seed"]),
+            "yes" if row["converged"] else "no",
+            "yes" if row["expected_convergence"] else "no",
+            "✓" if row["consistent"] else "✗",
+        ]
+        for row in document["rows"]
+    ]
+    title = document["parameters"].get("title") or document["scenario"]
+    return render_table(headers, rows, title=title)

@@ -5,7 +5,10 @@ to the repository's actual workloads.  Four job kinds are understood:
 
 * ``table1`` / ``table2`` — reproduce a whole table, cell by cell;
 * ``certificate`` — assemble the full reproduction certificate;
-* ``sweep`` — check Theorem 5.2's proof invariants over a spec grid.
+* ``sweep`` — check Theorem 5.2's proof invariants over a spec grid;
+* ``scenario`` — run a declarative :mod:`repro.scenarios` config (its
+  validated form rides in the job parameters, so the queue record is
+  self-contained even if the config file later changes on disk).
 
 Every runner computes its units *one at a time through the result
 store*, heartbeating the job lease and updating the job's progress
@@ -32,7 +35,7 @@ from repro.store.cache import ResultStore, result_key
 from repro.store.scheduler import JobQueue, JobRecord
 
 #: Job kinds the worker loop knows how to run.
-JOB_KINDS = ("table1", "table2", "certificate", "sweep")
+JOB_KINDS = ("table1", "table2", "certificate", "sweep", "scenario")
 
 
 def open_store(root) -> ResultStore:
@@ -148,11 +151,47 @@ def _run_sweep_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> st
     return key
 
 
+def _run_scenario_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> str:
+    import dataclasses
+
+    from repro.scenarios import run_scenario, validate_scenario
+
+    scenario = validate_scenario(
+        record.params.get("config"), source=f"job:{record.id}"
+    )
+    # --quotient / --vector on submit ride beside the config, like the
+    # table jobs; the config's own engine block wins when both are set.
+    overrides = {
+        flag: True
+        for flag in ("quotient", "vector")
+        if record.params.get(flag) and getattr(scenario.engine, flag) is None
+    }
+    if overrides:
+        scenario = dataclasses.replace(
+            scenario, engine=dataclasses.replace(scenario.engine, **overrides)
+        )
+
+    def progress(done: int, total: int) -> None:
+        queue.heartbeat(record.id)
+        queue.update_progress(record.id, {"units_done": done, "units_total": total})
+
+    # A progress callback forces the sequential path, so the lease stays
+    # heartbeaten between units — same discipline as the table jobs.
+    doc = run_scenario(scenario, store=store, progress=progress)
+    # The document key binds the scenario's identity (engine flags
+    # excluded), so accelerated and direct submissions land on one entry.
+    params = {"config": scenario.identity()}
+    key = document_key("scenario", params)
+    store.put(key, doc, kind="scenario-doc", params=params)
+    return key
+
+
 _RUNNERS = {
     "table1": _run_table_job,
     "table2": _run_table_job,
     "certificate": _run_certificate_job,
     "sweep": _run_sweep_job,
+    "scenario": _run_scenario_job,
 }
 
 

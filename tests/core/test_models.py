@@ -8,18 +8,35 @@ class TestModelProperties:
         assert CM.SIMPLE_BROADCAST.isotropic
         assert CM.OUTDEGREE_AWARE.isotropic
         assert CM.SYMMETRIC.isotropic
+        assert CM.ONE_BIT_BROADCAST.isotropic
         assert not CM.OUTPUT_PORT_AWARE.isotropic
 
     def test_symmetry_requirement(self):
         assert CM.SYMMETRIC.requires_symmetric_network
         assert not CM.SIMPLE_BROADCAST.requires_symmetric_network
+        assert not CM.ONE_BIT_BROADCAST.requires_symmetric_network
 
     def test_static_only(self):
         assert CM.OUTPUT_PORT_AWARE.static_only
         assert not CM.OUTDEGREE_AWARE.static_only
+        assert not CM.ONE_BIT_BROADCAST.static_only
 
     def test_sees_outdegree(self):
         assert CM.OUTDEGREE_AWARE.sees_outdegree
         assert CM.OUTPUT_PORT_AWARE.sees_outdegree
+        assert CM.ONE_BIT_BROADCAST.sees_outdegree
         assert not CM.SIMPLE_BROADCAST.sees_outdegree
         assert not CM.SYMMETRIC.sees_outdegree
+
+    def test_outdegree_message_preserving(self):
+        # The quotient layer's activation gate: only the one-bit model
+        # opts out (its single bit does not factor through
+        # outdegree-preserving fibrations the way full messages do).
+        assert CM.SIMPLE_BROADCAST.outdegree_message_preserving
+        assert CM.OUTDEGREE_AWARE.outdegree_message_preserving
+        assert CM.SYMMETRIC.outdegree_message_preserving
+        assert CM.OUTPUT_PORT_AWARE.outdegree_message_preserving
+        assert not CM.ONE_BIT_BROADCAST.outdegree_message_preserving
+
+    def test_one_bit_value(self):
+        assert CM("one-bit broadcast") is CM.ONE_BIT_BROADCAST

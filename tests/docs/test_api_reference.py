@@ -13,7 +13,8 @@ class TestApiReference:
 
         for name in re.findall(r"`(\w+)`", API_MD):
             if name in ("repro", "help", "SIMPLE_BROADCAST", "OUTDEGREE_AWARE",
-                        "SYMMETRIC", "OUTPUT_PORT_AWARE", "NONE", "BOUND_N",
+                        "SYMMETRIC", "OUTPUT_PORT_AWARE", "ONE_BIT_BROADCAST",
+                        "NONE", "BOUND_N",
                         "EXACT_N", "LEADER", "SET_BASED", "FREQUENCY_BASED",
                         "MULTISET_BASED"):
                 continue

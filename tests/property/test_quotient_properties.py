@@ -353,6 +353,25 @@ class TestCounters:
         assert stats["lifts"] == 1
         assert sum(stats["fallback_reasons"].values()) == 1
 
+    def test_one_bit_model_is_a_checked_fallback(self):
+        """REPRO_QUOTIENT=1 (or quotient=True) with a one-bit algorithm
+        must never activate — the model is not outdegree-message-
+        preserving — and the refusal lands in the fallback counters."""
+        from repro.algorithms.onebit import OneBitFloodingAlgorithm
+
+        clear_quotient_stats()
+        g = hypercube(3)  # vertex-transitive: every other gate would pass
+        execution = Execution(
+            OneBitFloodingAlgorithm(), g, inputs=[1] * g.n, quotient=True
+        )
+        assert not execution.quotient_active
+        assert execution.quotient_fallback_reason == "model-not-message-preserving"
+        execution.run(2)
+        stats = quotient_stats()
+        assert stats["activations"] == 0
+        assert stats["fallbacks"] == 1
+        assert stats["fallback_reasons"] == {"model-not-message-preserving": 1}
+
     def test_publish_metrics_delta(self):
         from repro.core.engine.trace import MetricsRegistry
         from repro.core.engine.quotient import publish_quotient_metrics

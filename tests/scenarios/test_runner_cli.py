@@ -1,0 +1,240 @@
+"""The scenario runner, the ``run`` CLI, and the durable scenario job.
+
+Pins the DSL's execution-side contracts:
+
+* one config, one document — byte-identical across the object engine,
+  the vector fallback, the quotient fallback, and the process pool;
+* the result store serves warm rows without changing a byte;
+* ``python -m repro run`` exits 0/1 on PASS/FAIL verdicts and 2 on
+  config errors, with a one-line diagnostic instead of a traceback;
+* ``scenario`` jobs run through the crash-safe queue with per-unit
+  progress, and land on an engine-flag-independent document key.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.scenarios import (
+    document_bytes,
+    format_scenario_document,
+    grid_units,
+    load_scenario,
+    run_scenario,
+    validate_scenario,
+)
+from repro.scenarios.schema import EngineFlags
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+ONEBIT_CONFIG = os.path.join(REPO_ROOT, "configs", "onebit_counting.json")
+
+
+def small_grid(tmp_path, **overrides):
+    raw = {
+        "scenario": "small",
+        "kind": "grid",
+        "model": "one-bit broadcast",
+        "rounds": 8,
+        "seeds": [0, 1],
+        "graphs": [
+            {"family": "complete", "sizes": [4]},
+            {"family": "ring", "sizes": [5]},
+        ],
+        "probes": ["or-flood", "census"],
+        "inputs": "alternating",
+    }
+    raw.update(overrides)
+    config = tmp_path / "small.json"
+    config.write_text(json.dumps(raw))
+    return load_scenario(config)
+
+
+class TestEngineModeByteIdentity:
+    def test_all_modes_emit_identical_bytes(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        scenario = small_grid(tmp_path)
+        base = document_bytes(run_scenario(scenario))
+        for flags in (
+            EngineFlags(vector=True),
+            EngineFlags(quotient=True),
+            EngineFlags(parallel=True, workers=2),
+        ):
+            variant = dataclasses.replace(scenario, engine=flags)
+            assert document_bytes(run_scenario(variant)) == base, flags
+
+    def test_identity_excludes_engine_flags(self, tmp_path):
+        scenario = small_grid(tmp_path)
+        forced = dataclasses.replace(scenario, engine=EngineFlags(vector=True))
+        assert forced.identity() == scenario.identity()
+        assert forced.normalized() != scenario.normalized()
+
+    def test_normalized_round_trips_through_validation(self, tmp_path):
+        scenario = small_grid(
+            tmp_path,
+            engine={"parallel": True, "workers": 2},
+            output={"title": "round trip"},
+        )
+        again = validate_scenario(scenario.normalized(), source="round-trip")
+        assert again.identity() == scenario.identity()
+        assert again.engine == scenario.engine
+        assert again.title == scenario.title
+
+
+class TestStore:
+    def test_cold_and_warm_runs_identical(self, tmp_path, monkeypatch):
+        from repro.store.cache import ResultStore
+
+        # Parallel workers open their own ResultStore by root, so this
+        # store object's hit/miss counters only observe the sequential
+        # path; byte-identity across engine modes is asserted elsewhere.
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        scenario = small_grid(tmp_path)
+        direct = document_bytes(run_scenario(scenario))
+        store = ResultStore(tmp_path / "store")
+        cold = document_bytes(run_scenario(scenario, store=store))
+        warm = document_bytes(run_scenario(scenario, store=store))
+        assert cold == direct
+        assert warm == direct
+        assert store.hits >= len(grid_units(scenario))  # warm run hit disk
+
+    def test_row_keys_shared_across_engine_modes(self, tmp_path, monkeypatch):
+        from repro.store.cache import ResultStore
+
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)  # observable counters
+        scenario = small_grid(tmp_path)
+        store = ResultStore(tmp_path / "store")
+        run_scenario(scenario, store=store)
+        puts = store.puts
+        vectored = dataclasses.replace(scenario, engine=EngineFlags(vector=True))
+        run_scenario(vectored, store=store)
+        assert store.puts == puts  # every row served, none recomputed
+
+
+class TestRunCli:
+    def test_pass_exit_code_and_stdout_bytes(self, tmp_path, capsysbinary):
+        scenario = small_grid(tmp_path)
+        expected = document_bytes(run_scenario(scenario))
+        assert main(["run", str(tmp_path / "small.json")]) == 0
+        assert capsysbinary.readouterr().out == expected
+
+    def test_out_flag_writes_the_document(self, tmp_path, capsysbinary):
+        scenario = small_grid(tmp_path)
+        expected = document_bytes(run_scenario(scenario))
+        out = tmp_path / "doc.json"
+        assert main(["run", str(tmp_path / "small.json"), "--out", str(out)]) == 0
+        assert out.read_bytes() == expected
+
+    def test_pretty_renders_the_grid(self, tmp_path, capsysbinary):
+        small_grid(tmp_path, output={"title": "tiny grid"})
+        assert main(["run", str(tmp_path / "small.json"), "--pretty"]) == 0
+        out = capsysbinary.readouterr().out.decode("utf-8")
+        assert "tiny grid" in out
+        assert "or-flood" in out
+
+    def test_fail_verdict_exits_one(self, tmp_path):
+        # One round is not enough for the flood to cross a 5-ring, so the
+        # or-flood oracle disagrees and the document's verdict is FAIL.
+        small_grid(
+            tmp_path,
+            rounds=1,
+            seeds=[0],
+            graphs=[{"family": "ring", "sizes": [5]}],
+            probes=["or-flood"],
+        )
+        assert main(["run", str(tmp_path / "small.json")]) == 1
+
+    def test_config_error_exits_two_without_traceback(self, tmp_path, capsys):
+        config = tmp_path / "bad.json"
+        config.write_text(json.dumps({"scenario": "x", "kind": "grid"}))
+        assert main(["run", str(config)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "model" in err  # the first missing required key
+        assert "Traceback" not in err
+
+    def test_malformed_file_exits_two(self, tmp_path, capsys):
+        config = tmp_path / "broken.json"
+        config.write_text("{]")
+        assert main(["run", str(config)]) == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_format_scenario_document_handles_tables(self):
+        scenario = load_scenario(os.path.join(REPO_ROOT, "configs", "table1.json"))
+        rendered = format_scenario_document(run_scenario(scenario))
+        assert "Table 1 — static strongly connected networks" in rendered
+
+
+class TestScenarioJob:
+    def test_job_end_to_end_with_progress(self, tmp_path):
+        from repro.store.jobs import document_key, open_queue, open_store, run_worker
+
+        scenario = small_grid(tmp_path)
+        queue = open_queue(tmp_path / "root")
+        store = open_store(tmp_path / "root")
+        record = queue.submit("scenario", {"config": scenario.normalized()})
+        assert run_worker(tmp_path / "root", queue=queue, store=store) == 1
+        finished = queue.get(record.id)
+        assert finished.status == "done"
+        total = len(grid_units(scenario))
+        assert finished.progress == {"units_done": total, "units_total": total}
+        assert finished.result_key == document_key(
+            "scenario", {"config": scenario.identity()}
+        )
+        doc = store.get(finished.result_key)
+        assert document_bytes(doc) == document_bytes(run_scenario(scenario))
+
+    def test_submit_flags_ride_beside_the_config(self, tmp_path):
+        from repro.store.jobs import document_key, open_queue, open_store, run_worker
+
+        scenario = small_grid(tmp_path)
+        queue = open_queue(tmp_path / "root")
+        store = open_store(tmp_path / "root")
+        record = queue.submit(
+            "scenario", {"config": scenario.normalized(), "vector": True}
+        )
+        run_worker(tmp_path / "root", queue=queue, store=store)
+        finished = queue.get(record.id)
+        assert finished.status == "done"
+        # Engine flags stay out of the document key: the accelerated
+        # submission lands exactly where a plain one would.
+        assert finished.result_key == document_key(
+            "scenario", {"config": scenario.identity()}
+        )
+        doc = store.get(finished.result_key)
+        assert document_bytes(doc) == document_bytes(run_scenario(scenario))
+
+    def test_invalid_config_parks_the_job(self, tmp_path):
+        from repro.store.jobs import open_queue, open_store, run_worker
+
+        queue = open_queue(tmp_path / "root")
+        record = queue.submit(
+            "scenario", {"config": {"scenario": "x", "kind": "nope"}}, max_attempts=1
+        )
+        run_worker(tmp_path / "root", queue=queue, store=open_store(tmp_path / "root"))
+        parked = queue.get(record.id)
+        assert parked.status == "failed"
+        assert "kind" in parked.error
+
+    def test_cli_submit_copies_the_config(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        assert (
+            main(
+                [
+                    "store",
+                    "--root",
+                    str(root),
+                    "submit",
+                    "scenario",
+                    "--config",
+                    ONEBIT_CONFIG,
+                ]
+            )
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "scenario"
+        assert record["params"]["config"]["scenario"] == "onebit-counting"
+        assert record["params"]["config"]["model"] == "one-bit broadcast"

@@ -95,7 +95,13 @@ class TestRunWorker:
         doc = table_document("table1", 4, 0, cells)
         assert doc["summary"]["verdict"] == "FAIL"
         assert table_document("table1", 4, 0, cells) == doc
-        assert set(JOB_KINDS) == {"table1", "table2", "certificate", "sweep"}
+        assert set(JOB_KINDS) == {
+            "table1",
+            "table2",
+            "certificate",
+            "sweep",
+            "scenario",
+        }
 
 
 class TestKillResume:
