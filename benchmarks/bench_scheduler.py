@@ -1,0 +1,269 @@
+"""Experiment A15 — sharded batch dispatch vs the single-directory queue.
+
+The question: at campaign scale (10k queued jobs), how fast can a
+dispatcher turn queued records into claimed-and-completed ones?  Three
+dispatch disciplines run against the same synthetic noop campaign:
+
+* **single-directory (full-rescan)** — the pre-shard discipline: one
+  flat ``jobs/`` directory, and every claim pass re-reads *every* record
+  to find a runnable one.  Dispatch cost is O(queue depth) per job; at
+  10k records each claim is a 10k-file scan.
+* **single-directory (incremental)** — the same flat directory under
+  this PR's claim path: one name listing per pass, records read lazily
+  from a rotating cursor, known-done ids skipped.  The listing itself —
+  sorting 10k names per claim — is now the dominant cost.
+* **sharded (8 shards, batch claim)** — the orchestrator's discipline:
+  consistent-hashed shard directories, each claim pass listing one
+  shard (depth/8 names) and amortizing it over a whole
+  ``claim_batch``.
+
+Two workloads: a **deep-queue scan** (one dispatcher draining the head
+of a 10k-job backlog) and a **contention** workload (8 worker processes
+racing on the same queue, 1 shard vs 8 shards).  Results land in
+``BENCH_scheduler.json`` at the repo root.  Acceptance bar: sharded
+dispatch throughput ≥ 5× the single-directory queue (the full-rescan
+discipline it replaces) on both workloads, at 10k queued jobs.
+
+Scale knob: ``REPRO_BENCH_SCHED_JOBS`` (default 10000) shrinks the
+campaign for smoke runs; the recorded JSON states the size used.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.store.scheduler import JobQueue
+from repro.store.shard import ShardedJobQueue
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+QUEUE_DEPTH = int(os.environ.get("REPRO_BENCH_SCHED_JOBS", "10000"))
+SHARDS = 8
+WORKERS = 8
+BATCH = 32
+
+#: Per-arm dispatch sample sizes, sized so each arm runs a few seconds.
+RESCAN_SAMPLE = max(4, QUEUE_DEPTH // 500)
+INCREMENTAL_SAMPLE = max(10, QUEUE_DEPTH // 40)
+SHARDED_SAMPLE = max(20, QUEUE_DEPTH // 5)
+CONTENTION_RESCAN_PER_WORKER = max(1, QUEUE_DEPTH // 4000)
+CONTENTION_SHARDED_PER_WORKER = max(5, QUEUE_DEPTH // 200)
+
+
+def _fill(queue, depth: int) -> None:
+    for i in range(depth):
+        queue.submit("noop", {"i": i})
+
+
+def _legacy_claim(queue: JobQueue):
+    """The pre-shard claim discipline: scan every record, take the first
+    runnable one.  (The live claim path no longer works this way; the
+    benchmark keeps the old cost model as its baseline.)"""
+    now = time.time()
+    for record in queue.jobs():  # json-reads the entire directory
+        if record.status == "queued" and record.not_before <= now:
+            taken = queue._claim_queued(record.id, now)
+            if taken is not None:
+                return taken
+    return None
+
+
+def _drain_rescan(queue: JobQueue, budget: int) -> int:
+    done = 0
+    while done < budget:
+        record = _legacy_claim(queue)
+        if record is None:
+            break
+        queue.complete(record.id, result_key="bench")
+        done += 1
+    return done
+
+
+def _drain_single(queue, budget: int) -> int:
+    done = 0
+    while done < budget:
+        record = queue.claim()
+        if record is None:
+            break
+        queue.complete(record.id, result_key="bench")
+        done += 1
+    return done
+
+
+def _drain_batched(queue, budget: int) -> int:
+    done = 0
+    while done < budget:
+        batch = queue.claim_batch(min(BATCH, budget - done))
+        if not batch:
+            break
+        for record in batch:
+            queue.complete(record.id, result_key="bench")
+        done += len(batch)
+    return done
+
+
+def _timed(fn, *args) -> "tuple[int, float]":
+    started = time.perf_counter()
+    done = fn(*args)
+    return done, time.perf_counter() - started
+
+
+# -- contention workload ------------------------------------------------ #
+
+
+def _contend_flat(root, budget, out):
+    queue = JobQueue(root, owner=f"w{os.getpid()}")
+    out.put(_drain_rescan(queue, budget))
+
+
+def _contend_sharded(root, budget, out):
+    queue = ShardedJobQueue(root, owner=f"w{os.getpid()}", rng=os.getpid())
+    out.put(_drain_batched(queue, budget))
+
+
+def _contention_arm(target, root, per_worker: int) -> "tuple[int, float]":
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(target=target, args=(root, per_worker, out))
+        for _ in range(WORKERS)
+    ]
+    started = time.perf_counter()
+    for p in procs:
+        p.start()
+    total = sum(out.get() for _ in procs)
+    for p in procs:
+        p.join()
+    return total, time.perf_counter() - started
+
+
+def run_bench() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-sched-bench-") as tmp:
+        flat_root = os.path.join(tmp, "flat", "queue")
+        shard_root = os.path.join(tmp, "sharded", "queue")
+        flat = JobQueue(flat_root)
+        sharded = ShardedJobQueue(shard_root, shards=SHARDS, rng=0)
+        _fill(flat, QUEUE_DEPTH)
+        _fill(sharded, QUEUE_DEPTH)
+
+        # Deep-queue scan: one dispatcher draining the backlog's head.
+        rescan_done, rescan_s = _timed(_drain_rescan, flat, RESCAN_SAMPLE)
+        incr_done, incr_s = _timed(_drain_single, flat, INCREMENTAL_SAMPLE)
+        shard_done, shard_s = _timed(_drain_batched, sharded, SHARDED_SAMPLE)
+
+        rescan_rate = rescan_done / rescan_s
+        incr_rate = incr_done / incr_s
+        shard_rate = shard_done / shard_s
+
+        # Contention: 8 workers racing, 1 shard vs 8 shards.  Fresh
+        # queues so both arms start from a full backlog.
+        c_flat_root = os.path.join(tmp, "cflat", "queue")
+        c_shard_root = os.path.join(tmp, "cshard", "queue")
+        _fill(JobQueue(c_flat_root), QUEUE_DEPTH)
+        _fill(ShardedJobQueue(c_shard_root, shards=SHARDS, rng=0), QUEUE_DEPTH)
+
+        # The flat contention arm keeps the full-rescan discipline (the
+        # single-directory queue being replaced) with a budget small
+        # enough to stay tractable.  Workers race leases either way.
+        cf_total, cf_s = _contention_arm(
+            _contend_flat, c_flat_root, CONTENTION_RESCAN_PER_WORKER
+        )
+        cs_total, cs_s = _contention_arm(
+            _contend_sharded, c_shard_root, CONTENTION_SHARDED_PER_WORKER
+        )
+        cf_rate = cf_total / cf_s
+        cs_rate = cs_total / cs_s
+
+        stats = sharded.stats()
+        results = {
+            "queue_depth": QUEUE_DEPTH,
+            "shards": SHARDS,
+            "batch": BATCH,
+            "workers": WORKERS,
+            "deep_scan": {
+                "single_dir_rescan_jobs_per_s": round(rescan_rate, 1),
+                "single_dir_incremental_jobs_per_s": round(incr_rate, 1),
+                "sharded_jobs_per_s": round(shard_rate, 1),
+                "sampled": {
+                    "rescan": rescan_done,
+                    "incremental": incr_done,
+                    "sharded": shard_done,
+                },
+                "speedup_vs_rescan": round(shard_rate / rescan_rate, 1),
+                "speedup_vs_incremental": round(shard_rate / incr_rate, 2),
+            },
+            "contention": {
+                "single_dir_jobs_per_s": round(cf_rate, 1),
+                "sharded_jobs_per_s": round(cs_rate, 1),
+                "dispatched": {"single_dir": cf_total, "sharded": cs_total},
+                "speedup": round(cs_rate / cf_rate, 1),
+            },
+            "sharded_claim_stats": {
+                "claims": stats["claims"],
+                "listings": stats["listings"],
+                "records_read": stats["records_read"],
+                "lease_conflicts": stats["lease_conflicts"],
+            },
+        }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _render(results: dict) -> str:
+    deep = results["deep_scan"]
+    cont = results["contention"]
+    return "\n".join(
+        [
+            f"Dispatch throughput at {results['queue_depth']} queued jobs "
+            f"({results['shards']} shards, batch {results['batch']})",
+            f"  deep scan   single-dir rescan      "
+            f"{deep['single_dir_rescan_jobs_per_s']:>8.1f} jobs/s",
+            f"              single-dir incremental "
+            f"{deep['single_dir_incremental_jobs_per_s']:>8.1f} jobs/s",
+            f"              sharded batch          "
+            f"{deep['sharded_jobs_per_s']:>8.1f} jobs/s   "
+            f"({deep['speedup_vs_rescan']}x vs rescan, "
+            f"{deep['speedup_vs_incremental']}x vs incremental)",
+            f"  contention  single-dir ({results['workers']} workers) "
+            f"{cont['single_dir_jobs_per_s']:>8.1f} jobs/s",
+            f"              sharded    ({results['workers']} workers) "
+            f"{cont['sharded_jobs_per_s']:>8.1f} jobs/s   ({cont['speedup']}x)",
+            f"  -> {RESULT_PATH.name}",
+        ]
+    )
+
+
+def test_sharded_dispatch_meets_the_bar():
+    results = run_bench()
+    emit(_render(results))
+    deep = results["deep_scan"]
+    cont = results["contention"]
+    assert deep["sampled"]["sharded"] == SHARDED_SAMPLE, "sharded arm starved"
+    assert deep["speedup_vs_rescan"] >= 5.0, (
+        f"deep-queue sharded dispatch only {deep['speedup_vs_rescan']}x the "
+        "single-directory queue (acceptance bar: 5x)"
+    )
+    assert cont["speedup"] >= 5.0, (
+        f"contention sharded dispatch only {cont['speedup']}x the "
+        "single-directory queue (acceptance bar: 5x)"
+    )
+    # The incremental flat queue (this PR's satellite fix) must itself
+    # beat the rescan discipline it replaced.
+    assert deep["single_dir_incremental_jobs_per_s"] > deep[
+        "single_dir_rescan_jobs_per_s"
+    ]
+    # Batch claims actually amortize listings: far fewer listings than
+    # claims.
+    stats = results["sharded_claim_stats"]
+    assert stats["listings"] < stats["claims"] / 2
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))

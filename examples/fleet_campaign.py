@@ -1,0 +1,201 @@
+"""Run a sharded job campaign through a worker fleet and kill half of it.
+
+The scheduler-at-scale walkthrough (EXPERIMENTS.md, experiment A15) as a
+self-contained script:
+
+1. submit a synthetic campaign (a sweep × seeds grid of trivial ``noop``
+   jobs) to a **sharded** queue — consistent-hashed across shard
+   directories, layout persisted in a manifest;
+2. run the same campaign sequentially in a reference root — the
+   uninterrupted baseline documents;
+3. drive the sharded root with a fleet of orchestrator subprocesses
+   (each an asyncio dispatcher feeding local process pools), and
+   ``SIGKILL`` half the fleet mid-campaign — process groups, so the
+   pools die with their orchestrators, leases still held;
+4. the survivors detect the stale leases, take the orphaned jobs over,
+   and finish the campaign;
+5. assert every document in the fleet root is **byte-for-byte
+   identical** to the reference root's.
+
+Scale knobs: ``--jobs`` (campaign size), ``--workers`` / ``--kill``
+(fleet size and casualties), ``--shards``, ``--pools``.  CI runs this at
+1k jobs; the acceptance campaign is 10k.  ``--stats-out FILE`` dumps the
+final shard statistics as JSON for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.store.jobs import open_queue, open_store, run_worker  # noqa: E402
+
+#: Fleet timing: leases go stale fast so takeover is quick, heartbeats
+#: faster still so live workers never look dead.
+FLEET_ENV = {"REPRO_LEASE_STALE_SECONDS": "2.0", "REPRO_HEARTBEAT_SECONDS": "0.5"}
+
+
+def campaign_params(jobs: int):
+    """The sweep × seeds grid: jobs/4 sweep points × 4 seeds."""
+    for i in range(jobs):
+        yield {"sweep": i // 4, "seed": i % 4}
+
+
+def submit_campaign(root: str, jobs: int, shards: int) -> None:
+    queue = open_queue(root, shards=shards)
+    for params in campaign_params(jobs):
+        queue.submit("noop", params, max_attempts=6)
+
+
+def _orchestrator_preexec():
+    # Each orchestrator leads a process group, so one SIGKILL takes its
+    # pools down too — the realistic host-loss shape.
+    os.setsid()
+    # Tie the orchestrator's life to this script's: `--wait` pollers
+    # never exit on their own, so if the campaign process itself is
+    # killed (a test-harness timeout, say) the kernel reaps the fleet
+    # instead of leaving orphans polling a dead root forever.
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGKILL, 0, 0, 0)  # PR_SET_PDEATHSIG
+    except (OSError, AttributeError):
+        pass  # non-Linux: fall back to the finally-block cleanup
+
+
+def spawn_orchestrator(root: str, pools: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in [os.path.join(os.path.dirname(__file__), "..", "src"), env.get("PYTHONPATH")]
+        if p
+    )
+    env.update(FLEET_ENV)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "store", "--root", root,
+            "run", "--wait", "--pools", str(pools),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        preexec_fn=_orchestrator_preexec,
+    )
+
+
+def kill_group(worker: subprocess.Popen, sig: int) -> None:
+    try:
+        os.killpg(worker.pid, sig)
+    except ProcessLookupError:
+        pass
+    worker.wait()
+
+
+def run_fleet(root: str, jobs: int, workers: int, kill: int, pools: int) -> dict:
+    queue = open_queue(root)
+    fleet = [spawn_orchestrator(root, pools) for _ in range(workers)]
+    print(f"  fleet up: {workers} orchestrator(s), {pools} pool(s) each")
+    killed = False
+    try:
+        deadline = time.time() + 600
+        while time.time() < deadline:
+            counts = queue.counts()
+            if not killed and counts["done"] >= max(1, jobs // 10):
+                for victim in fleet[:kill]:
+                    kill_group(victim, signal.SIGKILL)
+                killed = True
+                print(
+                    f"  SIGKILLed {kill}/{workers} orchestrator group(s) at "
+                    f"{counts['done']}/{jobs} jobs done"
+                )
+            if counts["done"] >= jobs:
+                break
+            time.sleep(0.2)
+        counts = queue.counts()
+        if counts["done"] < jobs:
+            raise RuntimeError(f"campaign stalled: {counts}")
+    finally:
+        for worker in fleet:
+            if worker.poll() is None:
+                kill_group(worker, signal.SIGKILL)
+    stats = {"counts": queue.counts(), "shards": queue.shard_stats()}
+    takeovers = None
+    if hasattr(queue, "shard_stats"):
+        takeovers = sum(
+            row.get("takeovers", 0) for row in queue.stats().get("per_shard", [])
+        )
+    print(f"  campaign complete: {stats['counts']}")
+    if takeovers:
+        print(f"  (this poller observed {takeovers} lease takeover(s))")
+    return stats
+
+
+def compare_documents(fleet_root: str, reference_root: str, jobs: int) -> None:
+    fleet_queue, fleet_store = open_queue(fleet_root), open_store(fleet_root)
+    ref_queue, ref_store = open_queue(reference_root), open_store(reference_root)
+    ref_keys = {r.id: r.result_key for r in ref_queue.jobs()}
+    records = fleet_queue.jobs()
+    assert len(records) == jobs, f"expected {jobs} records, found {len(records)}"
+    for record in records:
+        assert record.result_key == ref_keys[record.id], record.id
+        with open(ref_store.entry_path(record.result_key), "rb") as fh:
+            ref_bytes = fh.read()
+        with open(fleet_store.entry_path(record.result_key), "rb") as fh:
+            fleet_bytes = fh.read()
+        assert fleet_bytes == ref_bytes, f"document {record.result_key} diverged"
+    print(f"  {len(records)} documents byte-identical to the reference run")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=200, help="campaign size")
+    parser.add_argument("--workers", type=int, default=3, help="fleet size")
+    parser.add_argument(
+        "--kill", type=int, default=None, help="orchestrators to SIGKILL (default: half)"
+    )
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--pools", type=int, default=1, help="process pools per orchestrator")
+    parser.add_argument(
+        "--stats-out", default=None, metavar="FILE", help="write shard stats JSON here"
+    )
+    args = parser.parse_args(argv)
+    kill = args.kill if args.kill is not None else max(1, args.workers // 2)
+    if kill >= args.workers:
+        parser.error("--kill must leave at least one survivor")
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as top:
+        fleet_root = os.path.join(top, "fleet")
+        reference_root = os.path.join(top, "reference")
+
+        print(f"submitting {args.jobs}-job campaign ({args.shards} shards)...")
+        submit_campaign(fleet_root, args.jobs, args.shards)
+        submit_campaign(reference_root, args.jobs, args.shards)
+
+        print("reference run (sequential, uninterrupted)...")
+        run_worker(reference_root, queue=open_queue(reference_root))
+
+        print(f"fleet run (kill {kill}/{args.workers} mid-campaign)...")
+        stats = run_fleet(fleet_root, args.jobs, args.workers, kill, args.pools)
+
+        compare_documents(fleet_root, reference_root, args.jobs)
+
+        if args.stats_out:
+            with open(args.stats_out, "w") as fh:
+                json.dump(stats, fh, indent=2, sort_keys=True)
+            print(f"  shard stats -> {args.stats_out}")
+
+    print("OK — killed half the fleet, survivors finished, documents byte-identical.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

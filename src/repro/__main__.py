@@ -16,6 +16,10 @@ Usage::
     python -m repro store --root ./exp run          # crash-safe worker loop
     python -m repro store --root ./exp status       # queue + cache stats
                                     # durable, resumable experiment runs
+    python -m repro store --root ./exp --shards 8 run --pools 2
+                                    # sharded queue + asyncio orchestrator
+    python -m repro store --root ./exp gc --jobs --retention 86400
+                                    # prune terminal job records older than a day
 """
 
 from __future__ import annotations
@@ -304,11 +308,33 @@ def store_main(argv=None) -> int:
         required=True,
         help="store root directory (results live here, the queue under queue/)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "shard the queue K ways (consistent-hashed job placement; the "
+            "count is persisted in a manifest on first use and rediscovered "
+            "afterwards — passing a conflicting K later is an error)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_submit = sub.add_parser("submit", help="enqueue a job (idempotent)")
     p_submit.add_argument(
-        "kind", choices=["table1", "table2", "certificate", "sweep", "scenario"]
+        "kind",
+        choices=["table1", "table2", "certificate", "sweep", "scenario", "noop"],
+    )
+    p_submit.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "extra integer job parameter (repeatable; noop jobs use these "
+            "as their identity — e.g. --param i=3 --param rep=1)"
+        ),
     )
     p_submit.add_argument("--n", type=int, default=None, help="network size")
     p_submit.add_argument("--seed", type=int, default=0, help="random-graph seed")
@@ -360,20 +386,71 @@ def store_main(argv=None) -> int:
         action="store_true",
         help="keep polling for new jobs instead of exiting when the queue drains",
     )
+    p_run.add_argument(
+        "--pools",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "dispatch through the asyncio orchestrator into N local "
+            "process pools instead of the sequential worker loop"
+        ),
+    )
+    p_run.add_argument(
+        "--pool-workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="processes per pool under --pools (default 1)",
+    )
+    p_run.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="J",
+        help=(
+            "bound on claimed-but-unfinished jobs under --pools "
+            "(default: pools × pool-workers × 4)"
+        ),
+    )
 
-    sub.add_parser("status", help="queue counts, job list, cache stats")
+    p_status = sub.add_parser("status", help="queue counts, job list, cache stats")
+    p_status.add_argument(
+        "--brief",
+        action="store_true",
+        help="omit the per-job listing (counts and stats only)",
+    )
 
     p_result = sub.add_parser("result", help="print a finished job's document")
     p_result.add_argument("job_id")
 
-    sub.add_parser("gc", help="break stale leases, sweep temp files, heal the cache")
+    p_gc = sub.add_parser(
+        "gc", help="break stale leases, sweep temp files, heal the cache"
+    )
+    p_gc.add_argument(
+        "--jobs",
+        action="store_true",
+        help="also prune terminal (done/failed) job records past --retention",
+    )
+    p_gc.add_argument(
+        "--retention",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="retention window for --jobs: keep terminal records younger than this",
+    )
 
     args = parser.parse_args(argv)
 
     from repro.store.jobs import open_queue, open_store, run_worker
+    from repro.store.shard import ShardLayoutError
 
     store = open_store(args.root)
-    queue = open_queue(args.root)
+    try:
+        queue = open_queue(args.root, shards=args.shards)
+    except ShardLayoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.command == "submit":
         if args.kind == "scenario":
@@ -392,6 +469,15 @@ def store_main(argv=None) -> int:
                 parser.error("sweep jobs need at least one --spec N,D,SEED,ROUNDS")
             specs = [[int(x) for x in spec.split(",")] for spec in args.spec]
             params = {"specs": specs}
+        elif args.kind == "noop":
+            params = {"seed": args.seed}
+            if args.n is not None:
+                params["n"] = args.n
+            for pair in args.param:
+                key, _, value = pair.partition("=")
+                if not key or not value:
+                    parser.error(f"--param needs KEY=VALUE, got {pair!r}")
+                params[key] = int(value)
         else:
             default_n = 5 if args.kind == "table2" else 6
             params = {"n": args.n if args.n is not None else default_n, "seed": args.seed}
@@ -404,6 +490,22 @@ def store_main(argv=None) -> int:
         return 0
 
     if args.command == "run":
+        if args.pools is not None:
+            from repro.store.orchestrator import orchestrate
+
+            stats = orchestrate(
+                args.root,
+                queue=queue,
+                store=store,
+                pools=args.pools,
+                pool_workers=args.pool_workers,
+                window=args.window,
+                max_jobs=args.max_jobs,
+                idle_exit=not args.wait,
+            )
+            counts = queue.counts()
+            print(json.dumps({"orchestrator": stats, "queue": counts}, sort_keys=True))
+            return 0 if counts["failed"] == 0 else 1
         processed = run_worker(
             args.root,
             max_jobs=args.max_jobs,
@@ -416,17 +518,16 @@ def store_main(argv=None) -> int:
         return 0 if counts["failed"] == 0 else 1
 
     if args.command == "status":
-        print(
-            json.dumps(
-                {
-                    "queue": queue.counts(),
-                    "jobs": [r.to_dict() for r in queue.jobs()],
-                    "store": store.stats(),
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        status = {
+            "queue": queue.counts(),
+            "store": store.stats(),
+            "scheduler": queue.stats(),
+        }
+        if hasattr(queue, "shard_stats"):
+            status["shards"] = queue.shard_stats()
+        if not args.brief:
+            status["jobs"] = [r.to_dict() for r in queue.jobs()]
+        print(json.dumps(status, indent=2, sort_keys=True))
         return 0
 
     if args.command == "result":
@@ -452,9 +553,12 @@ def store_main(argv=None) -> int:
         return 0
 
     # gc
+    keep_terminal = args.retention if args.jobs else None
     print(
         json.dumps(
-            {"queue": queue.gc(), "store": store.gc()}, indent=2, sort_keys=True
+            {"queue": queue.gc(keep_terminal=keep_terminal), "store": store.gc()},
+            indent=2,
+            sort_keys=True,
         )
     )
     return 0

@@ -20,8 +20,9 @@ This module imports nothing from the package (it is a leaf, usable from
 
 from __future__ import annotations
 
+import math
 import os
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 #: Spellings that always disable a flag (case-insensitive, stripped).
 FALSY: FrozenSet[str] = frozenset({"", "0", "false", "no", "off"})
@@ -53,6 +54,34 @@ def env_flag(name: str, default: bool = False) -> bool:
     if raw is None:
         return default
     return parse_flag(raw, default=default)
+
+
+def env_float(
+    name: str, default: float, minimum: Optional[float] = None
+) -> float:
+    """A float-valued environment variable with validation.
+
+    The scheduler's timing knobs (``REPRO_HEARTBEAT_SECONDS=...``,
+    ``REPRO_LEASE_STALE_SECONDS=...``) route through here.  Unset, empty,
+    unparsable, non-finite, and below-``minimum`` values all yield
+    ``default`` — a typo'd interval can never make every lease look
+    permanently stale (or permanently fresh).
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    raw = raw.strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    if not math.isfinite(value):
+        return default
+    if minimum is not None and value < minimum:
+        return default
+    return value
 
 
 def env_path(name: str) -> "str | None":

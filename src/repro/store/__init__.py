@@ -10,7 +10,11 @@ Three layers, bottom-up:
 * :mod:`repro.store.cache` + :mod:`repro.store.scheduler` +
   :mod:`repro.store.jobs` — the content-addressed result store, the
   lock-file-lease job queue, and the runners that bind the queue to the
-  repository's workloads (tables, certificates, sweeps).
+  repository's workloads (tables, certificates, sweeps);
+* :mod:`repro.store.shard` + :mod:`repro.store.orchestrator` — the
+  consistent-hash sharded queue (manifest-agreed layout, per-shard
+  cursors) and the asyncio dispatcher that keeps N process pools
+  saturated from it.
 
 Attributes resolve lazily (PEP 562): the job runners import the analysis
 layer, which itself leans on :mod:`repro.store.atomic`, so eagerly
@@ -54,6 +58,16 @@ _EXPORTS = {
     "JobRecord": "repro.store.scheduler",
     "LeaseBroken": "repro.store.scheduler",
     "job_id_for": "repro.store.scheduler",
+    "default_heartbeat_seconds": "repro.store.scheduler",
+    "default_lease_ttl": "repro.store.scheduler",
+    # shard
+    "ShardedJobQueue": "repro.store.shard",
+    "ShardLayoutError": "repro.store.shard",
+    "shard_for": "repro.store.shard",
+    # orchestrator
+    "Orchestrator": "repro.store.orchestrator",
+    "orchestrate": "repro.store.orchestrator",
+    "publish_orchestrator_metrics": "repro.store.orchestrator",
     # jobs
     "run_worker": "repro.store.jobs",
     "run_job": "repro.store.jobs",
@@ -61,6 +75,8 @@ _EXPORTS = {
     "open_queue": "repro.store.jobs",
     "document_key": "repro.store.jobs",
     "table_document": "repro.store.jobs",
+    "noop_document": "repro.store.jobs",
+    "expected_result_key": "repro.store.jobs",
     "JOB_KINDS": "repro.store.jobs",
 }
 

@@ -1,14 +1,17 @@
 """Durable job runners: the scheduler's work vocabulary.
 
 This module binds the generic :class:`~repro.store.scheduler.JobQueue`
-to the repository's actual workloads.  Four job kinds are understood:
+to the repository's actual workloads.  Six job kinds are understood:
 
 * ``table1`` / ``table2`` — reproduce a whole table, cell by cell;
 * ``certificate`` — assemble the full reproduction certificate;
 * ``sweep`` — check Theorem 5.2's proof invariants over a spec grid;
 * ``scenario`` — run a declarative :mod:`repro.scenarios` config (its
   validated form rides in the job parameters, so the queue record is
-  self-contained even if the config file later changes on disk).
+  self-contained even if the config file later changes on disk);
+* ``noop`` — a deterministic trivial document, the unit of scheduler
+  benchmarks and fleet crash-recovery campaigns: all dispatch cost, no
+  engine cost, yet still byte-comparable across runs.
 
 Every runner computes its units *one at a time through the result
 store*, heartbeating the job lease and updating the job's progress
@@ -25,17 +28,19 @@ so a single path is all you hand to ``python -m repro store``.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import traceback
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.engine import ENGINE_VERSION
-from repro.store.cache import ResultStore, result_key
+from repro.store.cache import ResultStore, canonical_params, result_key
 from repro.store.scheduler import JobQueue, JobRecord
+from repro.store.shard import MANIFEST_NAME, ShardedJobQueue, ShardLayoutError
 
 #: Job kinds the worker loop knows how to run.
-JOB_KINDS = ("table1", "table2", "certificate", "sweep", "scenario")
+JOB_KINDS = ("table1", "table2", "certificate", "sweep", "scenario", "noop")
 
 
 def open_store(root) -> ResultStore:
@@ -43,9 +48,30 @@ def open_store(root) -> ResultStore:
     return ResultStore(root)
 
 
-def open_queue(root, **kwargs) -> JobQueue:
-    """The job queue of a scheduler root (lives under ``root/queue``)."""
-    return JobQueue(os.path.join(os.fspath(root), "queue"), **kwargs)
+def open_queue(
+    root, shards: Optional[int] = None, **kwargs
+) -> Union[JobQueue, ShardedJobQueue]:
+    """The job queue of a scheduler root (lives under ``root/queue``).
+
+    Layout is discovered, not assumed: a queue carrying a shard manifest
+    opens sharded (at its persisted count) whether or not ``shards`` is
+    passed; a legacy flat queue opens as a plain :class:`JobQueue` when
+    ``shards`` is ``None``, and refuses a ``shards=`` request outright —
+    re-hashing a live flat queue in place would strand its jobs.  Only a
+    brand-new root creates a layout from ``shards``.
+    """
+    queue_root = os.path.join(os.fspath(root), "queue")
+    has_manifest = os.path.exists(os.path.join(queue_root, MANIFEST_NAME))
+    if shards is None and not has_manifest:
+        return JobQueue(queue_root, **kwargs)
+    if shards is not None and not has_manifest and os.path.isdir(
+        os.path.join(queue_root, "jobs")
+    ):
+        raise ShardLayoutError(
+            f"queue at {queue_root!r} is a legacy flat layout; "
+            f"open it without --shards or start a fresh root"
+        )
+    return ShardedJobQueue(queue_root, shards=shards, **kwargs)
 
 
 def document_key(kind: str, params: Dict[str, Any]) -> str:
@@ -186,13 +212,86 @@ def _run_scenario_job(queue: JobQueue, store: ResultStore, record: JobRecord) ->
     return key
 
 
+def _noop_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """A noop's identity: its params minus the engine-acceleration flags
+    (which, as for tables, change nothing about the output)."""
+    return {k: v for k, v in params.items() if k not in ("quotient", "vector")}
+
+
+def noop_document(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic document of a ``noop`` job.
+
+    Pure function of the (stripped) params — the digest gives the
+    crash-recovery campaigns something content-like to byte-compare
+    without dragging in the engine.
+    """
+    identity = _noop_params(params)
+    canonical = canonical_params(identity)
+    return {
+        "kind": "noop",
+        "engine_version": ENGINE_VERSION,
+        "parameters": identity,
+        "digest": hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
+        "summary": {"cells": 1, "consistent": 1, "verdict": "PASS"},
+    }
+
+
+def _run_noop_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> str:
+    params = _noop_params(record.params)
+    doc = noop_document(record.params)
+    queue.heartbeat(record.id)
+    key = document_key("noop", params)
+    store.put(key, doc, kind="noop-doc", params=params)
+    return key
+
+
 _RUNNERS = {
     "table1": _run_table_job,
     "table2": _run_table_job,
     "certificate": _run_certificate_job,
     "sweep": _run_sweep_job,
     "scenario": _run_scenario_job,
+    "noop": _run_noop_job,
 }
+
+
+def expected_result_key(kind: str, params: Dict[str, Any]) -> Optional[str]:
+    """Predict the store key a job's document will land under, without
+    running it — the orchestrator's dedup handle.
+
+    Mirrors each runner's key derivation (including the default ``n`` /
+    ``seed`` the table and certificate runners fill in, and the
+    acceleration flags they exclude).  Returns ``None`` when the key
+    cannot be predicted (unknown kind, invalid scenario config) — the
+    orchestrator then simply dispatches without dedup.
+    """
+    try:
+        if kind in ("table1", "table2"):
+            dynamic = kind == "table2"
+            return document_key(
+                kind,
+                {
+                    "n": int(params.get("n", 5 if dynamic else 6)),
+                    "seed": int(params.get("seed", 0)),
+                },
+            )
+        if kind == "certificate":
+            return document_key(
+                kind,
+                {"n": int(params.get("n", 6)), "seed": int(params.get("seed", 0))},
+            )
+        if kind == "sweep":
+            return document_key(kind, dict(params))
+        if kind == "noop":
+            return document_key(kind, _noop_params(params))
+        if kind == "scenario":
+            from repro.scenarios import validate_scenario
+
+            scenario = validate_scenario(params.get("config"), source="dedup")
+            return document_key(kind, {"config": scenario.identity()})
+    except Exception:
+        return None
+    return None
 
 
 def run_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> str:

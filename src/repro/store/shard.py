@@ -1,0 +1,296 @@
+"""Consistent-hash sharding over per-directory job queues.
+
+A :class:`ShardedJobQueue` is ``K`` independent PR-5
+:class:`~repro.store.scheduler.JobQueue` directories under one root::
+
+    queue/
+      shards.json          <- manifest: layout contract between hosts
+      shard-0000/jobs/ ... <- each shard is a complete JobQueue
+      shard-0000/leases/
+      shard-0001/...
+
+Every job id is routed to exactly one shard by hashing the id
+(:func:`shard_for` — SHA-256, not Python's per-process-salted ``hash``),
+so two hosts that agree on the shard *count* agree on the placement of
+every job without coordination.  The count itself is the only piece of
+shared configuration, and it is persisted once in ``shards.json`` at
+queue creation (atomically, via ``O_CREAT | O_EXCL`` — the same
+test-and-set the leases use, so two hosts racing to create the queue
+cannot write conflicting manifests).  Later openers *discover* the count
+from the manifest; an explicit ``shards=`` that contradicts it is a hard
+:class:`ShardLayoutError`, never a silent re-layout — re-hashing in
+place would strand every queued job in a directory no router looks at.
+
+Why shard at all: a flat directory makes each claim pass O(queue depth)
+in listing cost and makes every worker race on the same lease files.
+With K shards, a claim pass lists one shard (depth/K names) and workers
+visiting shards in per-instance randomized order rarely collide.  The
+per-shard claim cursors (inherited from ``JobQueue``) then spread
+repeated passes across each shard's keyspace.  Dispatch throughput is
+measured by ``benchmarks/bench_scheduler.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import socket
+from typing import Any, Dict, List, Optional, Union
+
+from repro.store.atomic import atomic_write_text
+from repro.store.scheduler import (
+    FAILED,
+    JobQueue,
+    JobRecord,
+    _STATES,
+    default_lease_ttl,
+    job_id_for,
+)
+
+#: The manifest file recording the layout contract.
+MANIFEST_NAME = "shards.json"
+MANIFEST_VERSION = 1
+
+#: Sanity bounds on shard counts (4096 shards of one job each is already
+#: pathological; beyond that it's certainly a typo).
+MIN_SHARDS = 1
+MAX_SHARDS = 4096
+
+
+class ShardLayoutError(RuntimeError):
+    """The on-disk shard layout contradicts what the caller asked for
+    (or is missing/corrupt where one is required)."""
+
+
+def shard_for(job_id: str, count: int) -> int:
+    """The shard owning ``job_id`` under a ``count``-shard layout.
+
+    Uses the first 8 bytes of SHA-256 so every process — and every host —
+    computes the same placement (builtin ``hash`` is salted per process).
+    """
+    digest = hashlib.sha256(job_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def shard_name(index: int) -> str:
+    return f"shard-{index:04d}"
+
+
+class ShardedJobQueue:
+    """K consistent-hashed :class:`JobQueue` shards behind one API.
+
+    Drop-in for ``JobQueue`` everywhere the runners touch it: ``submit``,
+    ``claim`` / ``claim_batch``, ``heartbeat``, ``update_progress``,
+    ``complete``, ``fail``, ``get``, ``jobs``, ``counts``, ``revive``,
+    ``gc``.  Single-job operations route by :func:`shard_for`;
+    whole-queue operations fan out and aggregate.  Claiming visits
+    shards in a freshly shuffled order per pass so a fleet of workers
+    doesn't herd on shard 0.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        shards: Optional[int] = None,
+        lease_ttl: Optional[float] = None,
+        retry_base: float = 1.0,
+        retry_cap: float = 60.0,
+        owner: Optional[str] = None,
+        rng: Optional[int] = None,
+    ):
+        self.root = os.fspath(root)
+        self.shard_count = self._resolve_layout(shards)
+        self.lease_ttl = float(lease_ttl) if lease_ttl is not None else default_lease_ttl()
+        self._owner = owner or f"{socket.gethostname()}:{os.getpid()}"
+        self._rng = random.Random(rng)
+        self.shards: List[JobQueue] = [
+            JobQueue(
+                os.path.join(self.root, shard_name(i)),
+                lease_ttl=self.lease_ttl,
+                retry_base=retry_base,
+                retry_cap=retry_cap,
+                owner=self._owner,
+            )
+            for i in range(self.shard_count)
+        ]
+
+    # -- layout --------------------------------------------------------- #
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _resolve_layout(self, requested: Optional[int]) -> int:
+        """Discover the shard count from the manifest, or create it.
+
+        Creation is ``O_CREAT | O_EXCL``: when two hosts race to open a
+        brand-new queue, exactly one writes the manifest and the other
+        reads it back — they cannot end up with different layouts.
+        """
+        existing = self._read_manifest()
+        if existing is not None:
+            if requested is not None and int(requested) != existing:
+                raise ShardLayoutError(
+                    f"queue at {self.root!r} is laid out as {existing} shard(s); "
+                    f"refusing to open it as {requested} (re-sharding in place "
+                    f"would strand queued jobs)"
+                )
+            return existing
+        if requested is None:
+            # No manifest and no request: a legacy flat queue (bare
+            # jobs/ directory) keeps working as one shard only through
+            # plain JobQueue — here we default to a fresh 1-shard layout.
+            requested = 1
+        count = int(requested)
+        if not (MIN_SHARDS <= count <= MAX_SHARDS):
+            raise ShardLayoutError(
+                f"shard count must be in [{MIN_SHARDS}, {MAX_SHARDS}], got {count}"
+            )
+        if os.path.isdir(os.path.join(self.root, "jobs")):
+            raise ShardLayoutError(
+                f"queue at {self.root!r} holds a legacy flat jobs/ directory; "
+                f"open it without shards (plain JobQueue) or migrate it first"
+            )
+        os.makedirs(self.root, exist_ok=True)
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION, "shards": count}, sort_keys=True
+        )
+        try:
+            fd = os.open(self.manifest_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            # Lost the creation race: the winner's manifest is the law.
+            reread = self._read_manifest()
+            if reread is None:
+                raise ShardLayoutError(f"unreadable shard manifest at {self.manifest_path!r}")
+            if reread != count:
+                raise ShardLayoutError(
+                    f"queue at {self.root!r} was concurrently created with "
+                    f"{reread} shard(s), not {count}"
+                )
+            return reread
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return count
+
+    def _read_manifest(self) -> Optional[int]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            raise ShardLayoutError(f"unreadable shard manifest at {self.manifest_path!r}")
+        count = data.get("shards")
+        if not isinstance(count, int) or not (MIN_SHARDS <= count <= MAX_SHARDS):
+            raise ShardLayoutError(
+                f"shard manifest at {self.manifest_path!r} declares invalid count {count!r}"
+            )
+        return count
+
+    def shard_of(self, job_id: str) -> JobQueue:
+        return self.shards[shard_for(job_id, self.shard_count)]
+
+    # -- routed single-job operations ----------------------------------- #
+
+    def submit(self, kind: str, params: Dict[str, Any], max_attempts: int = 3) -> JobRecord:
+        job_id = job_id_for(kind, params)
+        return self.shard_of(job_id).submit(kind, params, max_attempts=max_attempts)
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self.shard_of(job_id).get(job_id)
+
+    def heartbeat(self, job_id: str) -> None:
+        self.shard_of(job_id).heartbeat(job_id)
+
+    def update_progress(self, job_id: str, progress: Dict[str, Any]) -> None:
+        self.shard_of(job_id).update_progress(job_id, progress)
+
+    def complete(self, job_id: str, result_key: Optional[str] = None) -> None:
+        self.shard_of(job_id).complete(job_id, result_key=result_key)
+
+    def fail(self, job_id: str, error: str) -> JobRecord:
+        return self.shard_of(job_id).fail(job_id, error)
+
+    def _write(self, record: JobRecord) -> None:
+        # Test/tooling hook, mirroring JobQueue._write's routing.
+        self.shard_of(record.id)._write(record)
+
+    # -- claiming ------------------------------------------------------- #
+
+    def claim_batch(self, limit: int = 1) -> List[JobRecord]:
+        """Take up to ``limit`` runnable jobs across shards.
+
+        Shard order is reshuffled every pass; each shard contributes via
+        its own cursor-rotated :meth:`JobQueue.claim_batch`, so a fleet
+        of claimants naturally spreads over shards *and* over each
+        shard's keyspace.
+        """
+        claimed: List[JobRecord] = []
+        if limit <= 0:
+            return claimed
+        order = list(range(self.shard_count))
+        self._rng.shuffle(order)
+        for index in order:
+            claimed.extend(self.shards[index].claim_batch(limit - len(claimed)))
+            if len(claimed) >= limit:
+                break
+        return claimed
+
+    def claim(self) -> Optional[JobRecord]:
+        batch = self.claim_batch(1)
+        return batch[0] if batch else None
+
+    # -- fanned whole-queue operations ---------------------------------- #
+
+    def jobs(self) -> List[JobRecord]:
+        records: List[JobRecord] = []
+        for shard in self.shards:
+            records.extend(shard.jobs())
+        records.sort(key=lambda r: r.id)
+        return records
+
+    def counts(self) -> Dict[str, int]:
+        tally = {state: 0 for state in _STATES}
+        for shard in self.shards:
+            for state, n in shard.counts().items():
+                tally[state] += n
+        return tally
+
+    def revive(self, job_id: Optional[str] = None) -> int:
+        if job_id is not None:
+            return self.shard_of(job_id).revive(job_id)
+        return sum(shard.revive() for shard in self.shards)
+
+    def gc(self, keep_terminal: Optional[float] = None) -> Dict[str, int]:
+        report = {"leases_broken": 0, "temp_files": 0, "jobs_pruned": 0}
+        for shard in self.shards:
+            for key, n in shard.gc(keep_terminal=keep_terminal).items():
+                report[key] += n
+        return report
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated claim-path counters plus a per-shard breakdown."""
+        total: Dict[str, int] = {}
+        per_shard = []
+        for i, shard in enumerate(self.shards):
+            counters = shard.stats()
+            per_shard.append({"shard": i, **counters})
+            for key, n in counters.items():
+                total[key] = total.get(key, 0) + n
+        total["shards"] = self.shard_count
+        total["per_shard"] = per_shard
+        return total
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard job-state tallies (the CI artifact): how evenly the
+        hash spread the campaign and where failures, if any, landed."""
+        rows = []
+        for i, shard in enumerate(self.shards):
+            row: Dict[str, Any] = {"shard": i, "name": shard_name(i)}
+            row.update(shard.counts())
+            rows.append(row)
+        return rows

@@ -13,7 +13,7 @@ each flag's documented default — across all four flag consumers plus the
 
 import pytest
 
-from repro.envflags import FALSY, TRUTHY, env_flag, env_path, parse_flag
+from repro.envflags import FALSY, TRUTHY, env_flag, env_float, env_path, parse_flag
 
 
 DISABLE_SPELLINGS = ["0", "false", "", "no", "off", "FALSE", "No", " 0 "]
@@ -71,6 +71,85 @@ class TestEnvPath:
     def test_set_path_comes_back_verbatim(self, monkeypatch):
         monkeypatch.setenv("REPRO_TEST_PATH", "/tmp/some-store")
         assert env_path("REPRO_TEST_PATH") == "/tmp/some-store"
+
+
+class TestEnvFloat:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("2.5", 2.5), ("10", 10.0), (" 0.25 ", 0.25), ("1e2", 100.0)],
+    )
+    def test_valid_spellings(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", raw)
+        assert env_float("REPRO_TEST_FLOAT", 7.0) == expected
+
+    @pytest.mark.parametrize("raw", ["", "   ", "soon", "1.2.3", "nan", "inf", "-inf"])
+    def test_invalid_spellings_keep_default(self, monkeypatch, raw):
+        # NaN/inf are parsable floats but nonsense as intervals: a NaN
+        # TTL would make every staleness comparison False forever.
+        monkeypatch.setenv("REPRO_TEST_FLOAT", raw)
+        assert env_float("REPRO_TEST_FLOAT", 7.0) == 7.0
+
+    def test_unset_keeps_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLOAT", raising=False)
+        assert env_float("REPRO_TEST_FLOAT", 3.5) == 3.5
+
+    def test_below_minimum_keeps_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "0.0")
+        assert env_float("REPRO_TEST_FLOAT", 5.0, minimum=0.1) == 5.0
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "-3")
+        assert env_float("REPRO_TEST_FLOAT", 5.0, minimum=0.0) == 5.0
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "0.1")
+        assert env_float("REPRO_TEST_FLOAT", 5.0, minimum=0.1) == 0.1
+
+
+class TestSchedulerTimingKnobs:
+    """The scheduler's two clocks are env-configurable with validation."""
+
+    def test_lease_ttl_from_environment(self, monkeypatch):
+        from repro.store.scheduler import (
+            DEFAULT_LEASE_TTL,
+            LEASE_STALE_ENV,
+            default_lease_ttl,
+        )
+
+        monkeypatch.setenv(LEASE_STALE_ENV, "4.5")
+        assert default_lease_ttl() == 4.5
+        monkeypatch.setenv(LEASE_STALE_ENV, "not-a-number")
+        assert default_lease_ttl() == DEFAULT_LEASE_TTL
+        monkeypatch.setenv(LEASE_STALE_ENV, "0")  # below the 0.1s floor
+        assert default_lease_ttl() == DEFAULT_LEASE_TTL
+        monkeypatch.delenv(LEASE_STALE_ENV)
+        assert default_lease_ttl() == DEFAULT_LEASE_TTL
+
+    def test_heartbeat_interval_from_environment(self, monkeypatch):
+        from repro.store.scheduler import (
+            DEFAULT_HEARTBEAT_SECONDS,
+            HEARTBEAT_ENV,
+            default_heartbeat_seconds,
+        )
+
+        monkeypatch.setenv(HEARTBEAT_ENV, "0.5")
+        assert default_heartbeat_seconds() == 0.5
+        monkeypatch.setenv(HEARTBEAT_ENV, "-1")
+        assert default_heartbeat_seconds() == DEFAULT_HEARTBEAT_SECONDS
+        monkeypatch.delenv(HEARTBEAT_ENV)
+        assert default_heartbeat_seconds() == DEFAULT_HEARTBEAT_SECONDS
+
+    def test_queue_inherits_env_ttl(self, monkeypatch, tmp_path):
+        from repro.store.scheduler import JobQueue, LEASE_STALE_ENV
+
+        monkeypatch.setenv(LEASE_STALE_ENV, "1.25")
+        assert JobQueue(tmp_path / "q").lease_ttl == 1.25
+        # An explicit lease_ttl always beats the environment.
+        assert JobQueue(tmp_path / "q2", lease_ttl=9.0).lease_ttl == 9.0
+
+    def test_orchestrator_inherits_env_heartbeat(self, monkeypatch, tmp_path):
+        from repro.store.orchestrator import Orchestrator
+        from repro.store.scheduler import HEARTBEAT_ENV
+
+        monkeypatch.setenv(HEARTBEAT_ENV, "0.2")
+        orch = Orchestrator(tmp_path, pools=1)
+        assert orch.heartbeat_interval == 0.2
 
 
 class TestConsumers:

@@ -13,13 +13,15 @@ from repro.store.cache import ResultStore
 from repro.store.jobs import (
     JOB_KINDS,
     document_key,
+    expected_result_key,
+    noop_document,
     open_queue,
     open_store,
     run_job,
     run_worker,
     table_document,
 )
-from repro.store.scheduler import DONE, FAILED, JobQueue
+from repro.store.scheduler import DONE, FAILED, RUNNING, JobQueue
 
 REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
 
@@ -101,7 +103,152 @@ class TestRunWorker:
             "certificate",
             "sweep",
             "scenario",
+            "noop",
         }
+
+    def test_noop_job_end_to_end(self, tmp_path):
+        queue = open_queue(tmp_path)
+        store = open_store(tmp_path)
+        record = queue.submit("noop", {"i": 3, "seed": 1})
+        assert run_worker(tmp_path, queue=queue, store=store) == 1
+        finished = queue.get(record.id)
+        assert finished.status == DONE
+        doc = store.get(finished.result_key)
+        assert doc["kind"] == "noop"
+        assert doc["summary"]["verdict"] == "PASS"
+        assert doc == noop_document({"i": 3, "seed": 1})
+
+    def test_noop_document_ignores_acceleration_flags(self):
+        plain = noop_document({"i": 1})
+        accelerated = noop_document({"i": 1, "quotient": True, "vector": True})
+        assert plain == accelerated
+
+
+class TestExpectedResultKey:
+    """The orchestrator's dedup handle predicts each runner's store key."""
+
+    def test_noop_key_matches_runner(self, tmp_path):
+        queue = open_queue(tmp_path)
+        store = open_store(tmp_path)
+        record = queue.submit("noop", {"i": 7, "quotient": True})
+        run_worker(tmp_path, queue=queue, store=store)
+        assert queue.get(record.id).result_key == expected_result_key(
+            "noop", {"i": 7, "quotient": True}
+        )
+        # The prediction strips acceleration flags, like the runner.
+        assert expected_result_key("noop", {"i": 7}) == expected_result_key(
+            "noop", {"i": 7, "vector": True}
+        )
+
+    def test_sweep_key_matches_runner(self, tmp_path):
+        queue = open_queue(tmp_path)
+        store = open_store(tmp_path)
+        params = {"specs": [[4, 3, 0, 12]]}
+        record = queue.submit("sweep", params)
+        run_worker(tmp_path, queue=queue, store=store)
+        assert queue.get(record.id).result_key == expected_result_key("sweep", params)
+
+    def test_table_key_fills_runner_defaults(self):
+        assert expected_result_key("table2", {}) == document_key(
+            "table2", {"n": 5, "seed": 0}
+        )
+        assert expected_result_key("table1", {"seed": 2}) == document_key(
+            "table1", {"n": 6, "seed": 2}
+        )
+
+    def test_unpredictable_kinds_return_none(self):
+        assert expected_result_key("haruspicy", {}) is None
+        assert expected_result_key("scenario", {"config": {"bogus": True}}) is None
+
+
+class TestLeaseTakeoverRace:
+    """Two workers spotting the same stale lease: exactly one wins, and
+    the loser's attempt leaves the record uncorrupted."""
+
+    def _stale_job(self, tmp_path, max_attempts=5):
+        queue = JobQueue(os.path.join(tmp_path, "queue"), lease_ttl=0.05)
+        record = queue.submit("noop", {"i": 0}, max_attempts=max_attempts)
+        claimed = queue.claim()
+        assert claimed is not None and claimed.id == record.id
+        time.sleep(0.08)  # let the lease age past its TTL
+        return record.id
+
+    def test_orphaned_lease_on_queued_record_is_broken(self, tmp_path):
+        """A worker dying between lease acquisition and the RUNNING
+        write leaves a QUEUED record under a dead lease; claimants must
+        break the corpse instead of skipping the job forever."""
+        queue = JobQueue(os.path.join(tmp_path, "queue"), lease_ttl=0.05, owner="survivor")
+        record = queue.submit("noop", {"i": 1})
+        os.makedirs(queue.leases_dir, exist_ok=True)
+        with open(queue.lease_path(record.id), "w", encoding="utf-8") as fh:
+            json.dump({"owner": "corpse", "heartbeat": time.time()}, fh)
+        # Fresh lease: looks like a rival claim in flight — back off.
+        assert queue.claim() is None
+        assert queue.stats()["lease_conflicts"] == 1
+        time.sleep(0.08)  # the corpse never heartbeats; the lease goes stale
+        taken = queue.claim()
+        assert taken is not None and taken.id == record.id
+        assert taken.status == RUNNING
+        assert queue.stats()["takeovers"] == 1
+        queue.heartbeat(record.id)  # the lease is ours now
+
+    def test_concurrent_stale_claims_resolve_to_one_owner(self, tmp_path):
+        import threading
+
+        for rep in range(10):
+            root = tmp_path / f"rep{rep}"
+            job_id = self._stale_job(root)
+            workers = [
+                JobQueue(os.path.join(root, "queue"), lease_ttl=0.05, owner=f"w{k}")
+                for k in range(2)
+            ]
+            barrier = threading.Barrier(2)
+            results = [None, None]
+
+            def contend(k):
+                barrier.wait()
+                results[k] = workers[k].claim()
+
+            threads = [
+                threading.Thread(target=contend, args=(k,)) for k in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            winners = [r for r in results if r is not None]
+            assert len(winners) == 1, f"rep {rep}: {len(winners)} workers won"
+            assert winners[0].id == job_id
+            # One takeover happened fleet-wide, and the loser recorded a
+            # conflict instead of a second ownership.
+            takeovers = sum(w.counters["takeovers"] for w in workers)
+            assert takeovers == 1
+            # The record survived the race intact: parsable, running,
+            # exactly one attempt charged.
+            record = workers[0].get(job_id)
+            assert record is not None
+            assert record.status == RUNNING
+            assert record.attempts == 1
+            # And the winner's lease is live: a third worker sees
+            # nothing claimable.
+            third = JobQueue(os.path.join(root, "queue"), lease_ttl=30.0, owner="w3")
+            assert third.claim() is None
+
+    def test_loser_cannot_break_fresh_lease(self, tmp_path):
+        # A slow loser that decided to break the lease *before* the
+        # winner re-acquired must not unseat the winner afterwards: the
+        # rename-based break targets the old lease file, which is gone.
+        job_id = self._stale_job(tmp_path)
+        winner = JobQueue(os.path.join(tmp_path, "queue"), lease_ttl=0.05, owner="w0")
+        loser = JobQueue(os.path.join(tmp_path, "queue"), lease_ttl=0.05, owner="w1")
+        assert winner.claim() is not None
+        # The loser saw the pre-takeover stale lease; by the time it
+        # acts, the winner holds a fresh one.  _break_lease renames the
+        # *current* path, so simulate the stalest possible loser: the
+        # lease is fresh now, so _lease_stale says no and claim skips it.
+        assert loser.claim() is None
+        winner.heartbeat(job_id)  # the winner still owns the lease
 
 
 class TestKillResume:

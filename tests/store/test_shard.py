@@ -1,0 +1,175 @@
+"""The sharded queue: manifest contract, routing, fan-out, contention."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.store.scheduler import DONE, FAILED, JobQueue, RUNNING
+from repro.store.shard import (
+    MANIFEST_NAME,
+    ShardedJobQueue,
+    ShardLayoutError,
+    shard_for,
+    shard_name,
+)
+
+
+class TestManifest:
+    def test_create_persists_layout(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=8)
+        assert queue.shard_count == 8
+        with open(tmp_path / "q" / MANIFEST_NAME) as fh:
+            assert json.load(fh)["shards"] == 8
+
+    def test_discovery_without_explicit_count(self, tmp_path):
+        ShardedJobQueue(tmp_path / "q", shards=5)
+        assert ShardedJobQueue(tmp_path / "q").shard_count == 5
+
+    def test_conflicting_count_is_an_error(self, tmp_path):
+        ShardedJobQueue(tmp_path / "q", shards=4)
+        with pytest.raises(ShardLayoutError, match="laid out as 4"):
+            ShardedJobQueue(tmp_path / "q", shards=8)
+        # Matching count is fine.
+        assert ShardedJobQueue(tmp_path / "q", shards=4).shard_count == 4
+
+    def test_absurd_counts_rejected(self, tmp_path):
+        with pytest.raises(ShardLayoutError):
+            ShardedJobQueue(tmp_path / "a", shards=0)
+        with pytest.raises(ShardLayoutError):
+            ShardedJobQueue(tmp_path / "b", shards=5000)
+
+    def test_corrupt_manifest_is_an_error(self, tmp_path):
+        root = tmp_path / "q"
+        os.makedirs(root)
+        (root / MANIFEST_NAME).write_text("not json")
+        with pytest.raises(ShardLayoutError, match="unreadable"):
+            ShardedJobQueue(root)
+
+    def test_legacy_flat_queue_refused(self, tmp_path):
+        flat = JobQueue(tmp_path / "q")
+        flat.submit("noop", {"i": 1})
+        with pytest.raises(ShardLayoutError, match="legacy flat"):
+            ShardedJobQueue(tmp_path / "q", shards=4)
+
+
+class TestRouting:
+    def test_shard_for_is_stable_and_in_range(self):
+        placements = {shard_for(f"job{i:04x}", 8) for i in range(256)}
+        assert placements <= set(range(8))
+        assert len(placements) > 1  # the hash actually spreads
+        assert shard_for("abc", 8) == shard_for("abc", 8)
+
+    def test_submit_lands_on_the_hashed_shard(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=4)
+        record = queue.submit("noop", {"i": 1})
+        index = shard_for(record.id, 4)
+        path = tmp_path / "q" / shard_name(index) / "jobs" / f"{record.id}.json"
+        assert path.exists()
+        assert queue.get(record.id).id == record.id
+
+    def test_two_instances_agree_on_placement(self, tmp_path):
+        a = ShardedJobQueue(tmp_path / "q", shards=6)
+        b = ShardedJobQueue(tmp_path / "q")
+        record = a.submit("noop", {"i": 9})
+        assert b.get(record.id) is not None
+        b.complete(record.id, result_key="k")
+        assert a.get(record.id).status == DONE
+
+
+class TestClaiming:
+    def test_interleaved_claimants_take_each_job_exactly_once(self, tmp_path):
+        a = ShardedJobQueue(tmp_path / "q", shards=4, owner="a", rng=1)
+        b = ShardedJobQueue(tmp_path / "q", owner="b", rng=2)
+        submitted = {a.submit("noop", {"i": i}).id for i in range(40)}
+        taken = []
+        misses = 0
+        turn = 0
+        while misses < 2:  # both claimants came up empty back to back
+            claimant = (a, b)[turn % 2]
+            turn += 1
+            record = claimant.claim()
+            if record is None:
+                misses += 1
+                continue
+            misses = 0
+            taken.append(record.id)
+            claimant.complete(record.id)
+        assert sorted(taken) == sorted(submitted)  # no double-claims
+
+    def test_claim_batch_spans_shards(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=4, rng=0)
+        for i in range(20):
+            queue.submit("noop", {"i": i})
+        batch = queue.claim_batch(12)
+        assert len(batch) == 12
+        assert len({shard_for(r.id, 4) for r in batch}) > 1
+
+    def test_shard_visit_order_is_randomized(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=16, rng=123)
+        orders = set()
+        for _ in range(6):
+            order = list(range(queue.shard_count))
+            queue._rng.shuffle(order)
+            orders.add(tuple(order))
+        assert len(orders) > 1
+
+    def test_stale_lease_takeover_crosses_instances(self, tmp_path):
+        a = ShardedJobQueue(tmp_path / "q", shards=2, lease_ttl=0.05, owner="a")
+        record = a.submit("noop", {"i": 0}, max_attempts=5)
+        assert a.claim().id == record.id
+        time.sleep(0.08)
+        b = ShardedJobQueue(tmp_path / "q", lease_ttl=0.05, owner="b")
+        retaken = b.claim()
+        assert retaken is not None and retaken.id == record.id
+        assert retaken.attempts == 1
+        assert b.stats()["takeovers"] == 1
+
+
+class TestFanOut:
+    def test_counts_jobs_and_revive_aggregate(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=4)
+        ids = [queue.submit("noop", {"i": i}, max_attempts=1).id for i in range(10)]
+        assert queue.counts()["queued"] == 10
+        assert [r.id for r in queue.jobs()] == sorted(ids)
+        # Park two jobs as failed, then revive fleet-wide.
+        for job_id in ids[:2]:
+            assert queue.shard_of(job_id).claim_batch(10)  # some claim
+        # fail the two specific ids (claim order is randomized, so just
+        # fail whatever is running)
+        running = [r.id for r in queue.jobs() if r.status == RUNNING]
+        for job_id in running:
+            queue.fail(job_id, "boom")
+        failed = queue.counts()["failed"]
+        assert failed == len(running) > 0
+        assert queue.revive() == failed
+        assert queue.counts()["failed"] == 0
+        assert queue.counts()["queued"] == 10
+
+    def test_gc_fans_and_prunes_terminal_records(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=3)
+        ids = [queue.submit("noop", {"i": i}).id for i in range(6)]
+        for job_id in ids[:4]:
+            queue.complete(job_id, result_key="k")
+        report = queue.gc(keep_terminal=0.0)
+        assert report["jobs_pruned"] == 4
+        assert queue.counts() == {"queued": 2, "running": 0, "done": 0, "failed": 0}
+        # Without a retention window nothing is pruned.
+        for job_id in ids[4:]:
+            queue.complete(job_id, result_key="k")
+        assert queue.gc()["jobs_pruned"] == 0
+        assert queue.counts()["done"] == 2
+
+    def test_stats_aggregate_with_per_shard_breakdown(self, tmp_path):
+        queue = ShardedJobQueue(tmp_path / "q", shards=2)
+        for i in range(6):
+            queue.submit("noop", {"i": i})
+        queue.claim_batch(6)
+        stats = queue.stats()
+        assert stats["claims"] == 6
+        assert stats["shards"] == 2
+        assert sum(row["claims"] for row in stats["per_shard"]) == 6
+        rows = queue.shard_stats()
+        assert [row["shard"] for row in rows] == [0, 1]
+        assert sum(row["running"] for row in rows) == 6
