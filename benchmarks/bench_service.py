@@ -1,0 +1,190 @@
+"""Experiment A16 — warm-result serving throughput of the HTTP service.
+
+The serving layer's reason to exist is cheap reads: a campaign's
+documents are content-addressed and immutable, so dashboards and
+re-submissions should revalidate or fetch them at HTTP speed without
+ever touching the engine.  This bench stands up one in-process
+:class:`~repro.service.app.ExperimentService` (ephemeral port, no
+orchestrator) over a store holding one warm table-sized document, then
+hammers it over a single keep-alive connection:
+
+* **revalidate (304)** — ``GET /v1/results/{key}`` with
+  ``If-None-Match``: the content-addressed fast path; the service does
+  one existence check and writes ~100 bytes.
+* **fetch (200)** — the same URL unconditionally: digest-checked entry
+  bytes straight off disk (:meth:`ResultStore.get_bytes` — zero
+  re-encode), a few KiB per response.
+* **healthz** — the routing floor: no store, no queue, pure dispatch.
+
+Results land in ``BENCH_service.json`` at the repo root.  Acceptance
+bar: the warm revalidate path sustains **≥ 1000 requests/second**, and
+every fetched body is byte-identical to the on-disk entry.
+
+Scale knob: ``REPRO_BENCH_SERVICE_REQUESTS`` (default 3000) shrinks the
+sample for smoke runs; the recorded JSON states the size used.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "3000"))
+THROUGHPUT_BAR = 1000.0  # requests/second on the warm 304 path
+
+
+def _start_service(root):
+    """The service on its own loop + thread, bound to an ephemeral port."""
+    import asyncio
+    import threading
+
+    from repro.service.app import ExperimentService
+
+    loop = asyncio.new_event_loop()
+    service = ExperimentService(root)
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start(port=0))
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True, name="bench-service")
+    thread.start()
+    assert started.wait(10), "service failed to start"
+
+    def stop():
+        asyncio.run_coroutine_threadsafe(service.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+    return service, stop
+
+
+def _warm_document(root) -> str:
+    """One realistic document in the store; returns its result key."""
+    from repro.store.cache import ResultStore, result_key
+    from repro.store.jobs import noop_document
+
+    store = ResultStore(root)
+    # Table-sized payload: a noop document padded with 60 rows of the
+    # shape a grid scenario emits, so the 200 path moves real bytes.
+    payload = noop_document({"bench": 1})
+    payload["rows"] = [
+        {
+            "probe": "or-flood",
+            "graph": "complete",
+            "n": 4 + (i % 13),
+            "seed": i,
+            "converged": True,
+            "stabilization_round": i % 7,
+            "rounds_run": 8,
+            "consistent": True,
+        }
+        for i in range(60)
+    ]
+    key = result_key("bench-doc", {"bench": 1})
+    store.put(key, payload, kind="bench-doc", params={"bench": 1})
+    return key
+
+
+def _hammer(host, port, path, headers, count, expect_status):
+    """``count`` keep-alive requests; returns (elapsed_s, last_body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    body = b""
+    try:
+        # One warm-up round trip so connection setup stays out of the clock.
+        conn.request("GET", path, headers=headers)
+        response = conn.getresponse()
+        assert response.status == expect_status, response.status
+        response.read()
+        start = time.perf_counter()
+        for _ in range(count):
+            conn.request("GET", path, headers=headers)
+            response = conn.getresponse()
+            assert response.status == expect_status, response.status
+            body = response.read()
+        elapsed = time.perf_counter() - start
+    finally:
+        conn.close()
+    return elapsed, body
+
+
+def run_bench() -> dict:
+    with tempfile.TemporaryDirectory() as root:
+        key = _warm_document(root)
+        service, stop = _start_service(root)
+        try:
+            host, port = service.host, service.port
+            path = f"/v1/results/{key}"
+            etag = {"If-None-Match": f'"{key}"'}
+
+            elapsed_304, _ = _hammer(host, port, path, etag, REQUESTS, 304)
+            elapsed_200, body = _hammer(
+                host, port, path, {}, max(200, REQUESTS // 3), 200
+            )
+            elapsed_health, _ = _hammer(
+                host, port, "/healthz", {}, max(200, REQUESTS // 3), 200
+            )
+
+            with open(service.store.entry_path(key), "rb") as fh:
+                byte_identical = body == fh.read()
+            fetches = max(200, REQUESTS // 3)
+            results = {
+                "requests": REQUESTS,
+                "entry_bytes": len(body),
+                "revalidate_304_req_per_s": round(REQUESTS / elapsed_304, 1),
+                "fetch_200_req_per_s": round(fetches / elapsed_200, 1),
+                "healthz_req_per_s": round(fetches / elapsed_health, 1),
+                "byte_identical": byte_identical,
+                "throughput_bar_req_per_s": THROUGHPUT_BAR,
+            }
+        finally:
+            stop()
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _render(results: dict) -> str:
+    return "\n".join(
+        [
+            f"Warm-result serving over one keep-alive connection "
+            f"({results['requests']} requests, {results['entry_bytes']}-byte entry)",
+            f"  revalidate (ETag/304)  {results['revalidate_304_req_per_s']:>8.1f} req/s"
+            f"   (bar: ≥ {results['throughput_bar_req_per_s']:.0f})",
+            f"  fetch      (200)       {results['fetch_200_req_per_s']:>8.1f} req/s",
+            f"  healthz                {results['healthz_req_per_s']:>8.1f} req/s",
+            f"  served bytes byte-identical to the store entry: "
+            f"{results['byte_identical']}",
+            f"  -> {RESULT_PATH.name}",
+        ]
+    )
+
+
+def test_warm_serving_meets_the_bar():
+    results = run_bench()
+    emit(_render(results))
+    assert results["byte_identical"], "served bytes diverged from the store entry"
+    assert results["revalidate_304_req_per_s"] >= THROUGHPUT_BAR, (
+        f"warm revalidation sustained only "
+        f"{results['revalidate_304_req_per_s']} req/s "
+        f"(bar: {THROUGHPUT_BAR})"
+    )
+    # The full-bytes path moves ~KiB payloads; it should still clear a
+    # large fraction of the revalidate rate (same socket discipline,
+    # one extra disk read + write).
+    assert results["fetch_200_req_per_s"] >= THROUGHPUT_BAR / 4
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))

@@ -1,0 +1,147 @@
+"""Serve, submit, watch live, fetch — the experiment service end to end.
+
+The service walkthrough (EXPERIMENTS.md, experiment A16) as a
+self-contained script:
+
+1. start ``python -m repro serve --port 0 --pools 1`` as a subprocess
+   and discover its ephemeral port from the announce line;
+2. submit a small grid scenario over ``POST /v1/runs`` with live tracing
+   on, and watch the run's SSE feed — durable ``progress`` events as
+   units finish, round-level ``trace`` metric snapshots while they
+   compute, a terminal ``end``;
+3. fetch the finished document from ``GET /v1/results/{key}`` and
+   revalidate it (``If-None-Match`` → ``304 Not Modified``);
+4. resubmit the identical scenario and observe the ``303 See Other``
+   short-circuit — the store, not the engine, answers warm submissions;
+5. assert the served payload is **byte-for-byte identical** to a direct
+   in-process :func:`repro.scenarios.run_scenario` of the same config.
+
+Exits non-zero (via the asserts) if any step misbehaves, so CI can run
+it as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.scenarios import document_bytes, run_scenario, validate_scenario
+from repro.service.client import ServiceClient
+
+SCENARIO = {
+    "scenario": "service-quickstart",
+    "kind": "grid",
+    "model": "one-bit broadcast",
+    "rounds": 10,
+    "seeds": [0, 1],
+    "graphs": [
+        {"family": "complete", "sizes": [4]},
+        {"family": "ring", "sizes": [5]},
+    ],
+    "probes": ["or-flood", "census"],
+    "inputs": "alternating",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        metavar="FILE",
+        help="also write the final /v1/store/stats payload here (CI artifact)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as root:
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--root",
+                root,
+                "--port",
+                "0",
+                "--pools",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": "src"},
+            text=True,
+        )
+        try:
+            announce = json.loads(server.stdout.readline())
+            print(f"serving on {announce['host']}:{announce['port']} (root {root})")
+            client = ServiceClient(announce["host"], announce["port"], timeout=120)
+
+            # -- submit with live tracing on --------------------------- #
+            record = client.submit(SCENARIO, trace=True)
+            assert record["status"] == "queued", record
+            print(f"submitted run {record['id']} -> watching {record['links']['events']}")
+
+            progress = traces = 0
+            result_key = None
+            for event in client.events(record["id"]):
+                if event["event"] == "progress":
+                    progress += 1
+                    data = event["data"]
+                    print(
+                        f"  progress {data['units_done']}/{data['units_total']}"
+                        f"  (event id {event['id']})"
+                    )
+                elif event["event"] == "trace":
+                    traces += 1
+                elif event["event"] == "end":
+                    result_key = event["data"]["result_key"]
+                    print(f"  end: {event['data']['status']} -> {result_key}")
+            assert result_key, "stream ended without a result key"
+            assert progress > 0, "no progress events streamed"
+            assert traces > 0, "no round-level trace events streamed"
+            print(f"streamed {progress} progress + {traces} trace events over SSE")
+
+            # -- fetch, revalidate, resubmit --------------------------- #
+            served = client.result_bytes(result_key)
+            assert client.result_bytes(result_key, etag=result_key) is None
+            print(f"fetched {len(served)} bytes; revalidation returned 304")
+            again = client.submit(SCENARIO)
+            assert again["status"] == "cached" and again["result_key"] == result_key
+            print("resubmission short-circuited: 303 See Other (store-served)")
+
+            # -- byte-identity against a direct run -------------------- #
+            entry = json.loads(served.decode("utf-8"))
+            direct = run_scenario(
+                validate_scenario(SCENARIO, source="quickstart"), store=None
+            )
+            assert document_bytes(entry["payload"]) == document_bytes(direct), (
+                "HTTP-served document differs from the direct run"
+            )
+            print("served document is byte-identical to the direct run ✓")
+
+            stats = client.store_stats()
+            print(
+                f"store: {stats['store']['entries']} entries, "
+                f"queue done={stats['queue']['done']}"
+            )
+            if args.stats_out:
+                with open(args.stats_out, "w", encoding="utf-8") as fh:
+                    json.dump(stats, fh, indent=2, sort_keys=True)
+                print(f"wrote {args.stats_out}")
+            client.close()
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,9 @@ Usage::
                                     # sharded queue + asyncio orchestrator
     python -m repro store --root ./exp gc --jobs --retention 86400
                                     # prune terminal job records older than a day
+    python -m repro serve --root ./exp --port 0 --pools 2
+                                    # HTTP API + embedded orchestrator
+                                    # (SSE live traces, cached-result 303s)
 """
 
 from __future__ import annotations
@@ -420,9 +423,26 @@ def store_main(argv=None) -> int:
         action="store_true",
         help="omit the per-job listing (counts and stats only)",
     )
+    p_status.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit exactly the service's GET /v1/store/stats payload "
+            "(machine-readable; one schema for shell scripts and HTTP clients)"
+        ),
+    )
 
     p_result = sub.add_parser("result", help="print a finished job's document")
     p_result.add_argument("job_id")
+    p_result.add_argument(
+        "--raw",
+        action="store_true",
+        help=(
+            "dump the canonical store entry bytes (digest-checked, no "
+            "re-encode) instead of the document payload — byte-identical "
+            "to GET /v1/results/{key}"
+        ),
+    )
 
     p_gc = sub.add_parser(
         "gc", help="break stale leases, sweep temp files, heal the cache"
@@ -518,6 +538,11 @@ def store_main(argv=None) -> int:
         return 0 if counts["failed"] == 0 else 1
 
     if args.command == "status":
+        if args.json:
+            from repro.store.jobs import store_status_payload
+
+            print(json.dumps(store_status_payload(queue, store), indent=2, sort_keys=True))
+            return 0
         status = {
             "queue": queue.counts(),
             "store": store.stats(),
@@ -541,6 +566,18 @@ def store_main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if args.raw:
+            raw = store.get_bytes(record.result_key)
+            if raw is None:
+                print(
+                    f"result entry {record.result_key} is missing or corrupt; "
+                    "resubmit the job to recompute it",
+                    file=sys.stderr,
+                )
+                return 1
+            sys.stdout.buffer.write(raw)
+            sys.stdout.buffer.flush()
+            return 0
         payload = store.get(record.result_key)
         if payload is None:
             print(
@@ -564,6 +601,98 @@ def store_main(argv=None) -> int:
     return 0
 
 
+def serve_main(argv=None) -> int:
+    """``python -m repro serve`` — the experiment service.
+
+    Binds the asyncio HTTP API (submissions, status, SSE live traces,
+    cached results) over a scheduler root and — unless ``--pools 0`` —
+    embeds an orchestrator in the same event loop, so one process both
+    accepts runs and executes them.  The first stdout line is a JSON
+    announce record carrying the bound address; with ``--port 0``
+    (ephemeral bind) that is how scripts discover the real port.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve the experiment HTTP API over a scheduler root: submit "
+            "runs, watch live SSE progress and round-level traces, fetch "
+            "canonical result documents (ETag/304 conditional serving).  "
+            "By default an embedded orchestrator executes submissions in "
+            "the same process."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        required=True,
+        help="store root directory (results live here, the queue under queue/)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=(
+            "listen port (0 binds ephemerally; default: "
+            "$REPRO_SERVICE_PORT when set, else 8765)"
+        ),
+    )
+    parser.add_argument(
+        "--backlog",
+        type=int,
+        default=None,
+        help="accept backlog (default: $REPRO_SERVICE_BACKLOG when set, else 128)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shard a brand-new queue K ways (existing layouts are rediscovered)",
+    )
+    parser.add_argument(
+        "--pools",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "embedded orchestrator process pools (default 1; 0 serves the "
+            "API only and leaves execution to external workers)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="processes per embedded pool (default 1)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="J",
+        help="orchestrator in-flight window (default: pools × workers × 4)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import serve
+
+    def announce(record):
+        print(json.dumps(record, sort_keys=True), flush=True)
+
+    return serve(
+        args.root,
+        host=args.host,
+        port=args.port,
+        backlog=args.backlog,
+        shards=args.shards,
+        pools=args.pools,
+        pool_workers=args.pool_workers,
+        window=args.window,
+        announce=announce,
+    )
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -573,6 +702,8 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "store":
         return store_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -676,4 +807,12 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # ``python -m repro ... | head`` closes stdout before we finish
+        # printing; exit like a SIGPIPE'd process instead of tracebacking.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

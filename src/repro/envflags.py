@@ -84,6 +84,38 @@ def env_float(
     return value
 
 
+def env_int(
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> int:
+    """An integer-valued environment variable with validation.
+
+    The service's listener knobs (``REPRO_SERVICE_PORT=...``,
+    ``REPRO_SERVICE_BACKLOG=...``) route through here — same contract as
+    :func:`env_float`: unset, empty, unparsable, and out-of-range values
+    all yield ``default``, so a typo'd port can never make the listener
+    bind somewhere surprising.  Note the range is inclusive on both ends
+    and ``minimum`` may legitimately be ``0`` (port 0 = bind ephemerally).
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    raw = raw.strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    if minimum is not None and value < minimum:
+        return default
+    if maximum is not None and value > maximum:
+        return default
+    return value
+
+
 def env_path(name: str) -> "str | None":
     """A path-valued environment variable, or ``None``.
 

@@ -81,11 +81,21 @@ def compute_grid_row(
     store=None,
     quotient: Optional[bool] = None,
     vector: Optional[bool] = None,
+    on_trace: Optional[Callable[[Dict[str, Any], List[Dict[str, Any]]], None]] = None,
 ) -> Dict[str, Any]:
     """One grid unit: build the graph and inputs, run the probe under the
     δ0 detector, compare the verdict with the probe's oracle.  Served
     from ``store`` when warm (same fetch-or-compute contract as table
-    cells)."""
+    cells).
+
+    ``on_trace(unit, snapshots)`` — when given — receives the unit's
+    round-level :class:`~repro.core.engine.trace.Tracer` metric snapshots
+    (one dict per round, wall-clock fields dropped) after the unit runs.
+    Tracing rides the PR-3 no-interference contract, so the row — and
+    hence the document and its store key — is byte-identical with or
+    without it.  Units served from the store run no rounds and report no
+    snapshots.
+    """
     probe = PROBES[probe_name]
 
     def compute() -> Dict[str, Any]:
@@ -102,9 +112,24 @@ def compute_grid_row(
             target=target,
             label=f"{probe_name}@{family}/n={n}/seed={seed}",
         )
+        tracer = None
+        if on_trace is not None:
+            from repro.core.engine.trace import Tracer
+
+            tracer = Tracer()
+            job.observers.append(tracer)
         (result,) = run_batch(
             [job], plan_cache=plan_cache, quotient=quotient, vector=vector
         )
+        if tracer is not None:
+            on_trace(
+                {"graph": family, "n": n, "seed": seed, "probe": probe_name},
+                [
+                    {"round": event.round, **event.deterministic_fields()}
+                    for event in tracer.events
+                    if event.kind == "round"
+                ],
+            )
         report = result.report
         expected = probe.oracle(family, n)
         return {
@@ -176,6 +201,7 @@ def run_scenario(
     scenario: Scenario,
     store=None,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_trace: Optional[Callable[[Dict[str, Any], List[Dict[str, Any]]], None]] = None,
 ) -> Dict[str, Any]:
     """Execute a validated scenario; returns its deterministic document.
 
@@ -184,7 +210,11 @@ def run_scenario(
     makes units durable).  ``progress(done, total)`` is called after each
     finished unit on the sequential path — the durable scenario job
     heartbeats its lease there (it forces sequential execution, exactly
-    like the table jobs).
+    like the table jobs).  ``on_trace`` forwards each computed grid
+    unit's round-level tracer snapshots (see :func:`compute_grid_row`);
+    like ``progress`` it forces the sequential path, and it is ignored
+    for table scenarios (their cells ride the table machinery, which
+    reports unit progress only).
     """
     from repro.store.cache import resolve_store
 
@@ -211,7 +241,7 @@ def run_scenario(
         from repro.core.engine.batch import parallel_enabled_by_env
 
         parallel = parallel_enabled_by_env()
-    if parallel and progress is None:
+    if parallel and progress is None and on_trace is None:
         from repro.core.engine.parallel import parallel_map
 
         root = getattr(store, "root", None)
@@ -231,6 +261,7 @@ def run_scenario(
                 compute_grid_row(
                     scenario, family, n, seed, probe, plan_cache=plan_cache,
                     store=store, quotient=engine.quotient, vector=engine.vector,
+                    on_trace=on_trace,
                 )
             )
             if progress is not None:

@@ -1,0 +1,60 @@
+"""``repro.service`` — the experiment service over the sharded store.
+
+Three modules, stdlib only:
+
+* :mod:`repro.service.http` — the HTTP/1.1 layer: an incremental,
+  segment-agnostic request parser, response framing, SSE framing;
+* :mod:`repro.service.app` — :class:`ExperimentService` (the routes)
+  and :func:`serve_async` (the orchestrator-embedding run mode behind
+  ``python -m repro serve``);
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  ``http.client`` counterpart tests, CI, and benchmarks drive.
+
+Attributes resolve lazily (PEP 562), matching :mod:`repro.store`.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # http
+    "DEFAULT_MAX_BODY": "repro.service.http",
+    "DEFAULT_MAX_HEAD": "repro.service.http",
+    "HttpError": "repro.service.http",
+    "Request": "repro.service.http",
+    "RequestReader": "repro.service.http",
+    "error_response": "repro.service.http",
+    "json_response": "repro.service.http",
+    "response_bytes": "repro.service.http",
+    "sse_comment": "repro.service.http",
+    "sse_event": "repro.service.http",
+    "sse_headers": "repro.service.http",
+    # app
+    "DEFAULT_BACKLOG": "repro.service.app",
+    "DEFAULT_PORT": "repro.service.app",
+    "SERVICE_BACKLOG_ENV": "repro.service.app",
+    "SERVICE_PORT_ENV": "repro.service.app",
+    "ExperimentService": "repro.service.app",
+    "publish_service_metrics": "repro.service.app",
+    "serve": "repro.service.app",
+    "serve_async": "repro.service.app",
+    "service_backlog": "repro.service.app",
+    "service_port": "repro.service.app",
+    # client
+    "ServiceClient": "repro.service.client",
+    "ServiceError": "repro.service.client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.service' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

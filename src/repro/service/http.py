@@ -1,0 +1,317 @@
+"""A small, tested HTTP/1.1 layer for the experiment service.
+
+The repository takes no new dependencies — the service rides
+``asyncio.start_server`` and this module supplies the missing pieces: an
+incremental request parser that is honest about TCP (heads and bodies
+arrive in arbitrary segments, several pipelined requests may share one
+segment), response framing with the handful of status codes the API
+uses, and Server-Sent-Events framing for the live run feed.
+
+The parser is deliberately narrow.  It speaks exactly the HTTP the
+service's clients emit — request line, header block, optional
+``Content-Length`` body, keep-alive — and rejects everything else with
+a precise status: an oversized head is ``431``, an oversized body
+``413``, chunked transfer encoding ``501``, and any malformed framing
+``400``.  Narrow is a feature here: every accepted byte sequence has one
+meaning, and the error paths are enumerable enough to test one by one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Largest request head (request line + headers) the reader accepts.
+DEFAULT_MAX_HEAD = 16_384
+
+#: Largest request body the reader accepts (scenario configs are small;
+#: 4 MiB leaves generous headroom without inviting abuse).
+DEFAULT_MAX_BODY = 4 * 1024 * 1024
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    303: "See Other",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Content Too Large",
+    422: "Unprocessable Content",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or routing-level failure with a definite status code.
+
+    Raised by the parser (400/413/431/501) and by route handlers
+    (404/405/422/...); the connection loop turns it into a JSON error
+    response.  ``close`` marks errors after which the connection state
+    is unknowable (a half-parsed head) and must not be reused.
+    """
+
+    def __init__(self, status: int, message: str, close: bool = False,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.close = close
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    version: str
+    headers: Dict[str, str]
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> Any:
+        """The body decoded as JSON; malformed bodies are a 400."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+_TOKEN = frozenset(
+    "!#$%&'*+-.^_`|~0123456789"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+)
+
+
+def _parse_head(head: bytes) -> Request:
+    """Parse one request head (everything before the blank line)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head", close=True) from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {lines[0]!r}", close=True)
+    method, target, version = parts
+    if not method or not all(c in _TOKEN for c in method):
+        raise HttpError(400, f"malformed method: {method!r}", close=True)
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version: {version!r}", close=True)
+    if not target.startswith("/"):
+        raise HttpError(400, f"unsupported request target: {target!r}", close=True)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip() or not all(
+            c in _TOKEN for c in name
+        ):
+            raise HttpError(400, f"malformed header line: {line!r}", close=True)
+        headers[name.lower()] = value.strip()
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    return Request(
+        method=method,
+        target=target,
+        path=unquote(split.path),
+        query=query,
+        version=version,
+        headers=headers,
+        keep_alive=keep_alive,
+    )
+
+
+class RequestReader:
+    """Incremental HTTP/1.1 request parsing over an asyncio stream.
+
+    One instance per connection: bytes beyond the current request stay
+    in the internal buffer, which is exactly what makes keep-alive and
+    pipelining work — and what makes the parser indifferent to how the
+    kernel segmented the bytes (the partial-read tests feed one byte at
+    a time).  ``read_request`` returns ``None`` on a clean EOF between
+    requests, and raises :class:`HttpError` for every protocol failure.
+    """
+
+    def __init__(self, reader, max_head: int = DEFAULT_MAX_HEAD,
+                 max_body: int = DEFAULT_MAX_BODY):
+        self._reader = reader
+        self._buffer = bytearray()
+        self.max_head = int(max_head)
+        self.max_body = int(max_body)
+
+    async def _fill(self) -> bool:
+        """Pull one more segment off the wire; ``False`` means EOF."""
+        chunk = await self._reader.read(65_536)
+        if not chunk:
+            return False
+        self._buffer.extend(chunk)
+        return True
+
+    async def read_request(self) -> Optional[Request]:
+        # -- head: everything up to the first blank line ----------------- #
+        while True:
+            idx = self._buffer.find(b"\r\n\r\n")
+            if idx >= 0:
+                break
+            if len(self._buffer) > self.max_head:
+                raise HttpError(
+                    431,
+                    f"request head exceeds {self.max_head} bytes",
+                    close=True,
+                )
+            if not await self._fill():
+                if self._buffer:
+                    raise HttpError(400, "connection closed mid-head", close=True)
+                return None
+        if idx > self.max_head:
+            raise HttpError(
+                431, f"request head exceeds {self.max_head} bytes", close=True
+            )
+        head = bytes(self._buffer[:idx])
+        del self._buffer[: idx + 4]
+        request = _parse_head(head)
+
+        # -- body: Content-Length only; chunked is out of scope ---------- #
+        if "transfer-encoding" in request.headers:
+            raise HttpError(
+                501, "chunked transfer encoding is not supported", close=True
+            )
+        raw_length = request.headers.get("content-length")
+        if raw_length is None:
+            return request
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(
+                400, f"malformed Content-Length: {raw_length!r}", close=True
+            ) from None
+        if length < 0:
+            raise HttpError(
+                400, f"malformed Content-Length: {raw_length!r}", close=True
+            )
+        if length > self.max_body:
+            raise HttpError(
+                413, f"request body exceeds {self.max_body} bytes", close=True
+            )
+        while len(self._buffer) < length:
+            if not await self._fill():
+                raise HttpError(400, "connection closed mid-body", close=True)
+        request.body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return request
+
+
+# -- response framing ---------------------------------------------------- #
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Frame one complete HTTP/1.1 response.
+
+    ``Content-Length`` is always emitted (304 included — it then
+    describes the entity that *would* have been sent, and more
+    importantly keeps connection reuse unambiguous), so a keep-alive
+    client always knows where the response ends.
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    emitted = {"content-length", "connection"}
+    for name, value in (headers or {}).items():
+        if name.lower() in emitted:
+            continue
+        lines.append(f"{name}: {value}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Frame a JSON response (sorted keys — same discipline as every
+    other machine-readable artifact in the repository)."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    merged = {"Content-Type": "application/json; charset=utf-8"}
+    merged.update(headers or {})
+    return response_bytes(status, body, headers=merged, keep_alive=keep_alive)
+
+
+def error_response(error: HttpError, keep_alive: bool = True) -> bytes:
+    """The uniform JSON error body every failure route emits."""
+    return json_response(
+        error.status,
+        {"error": {"status": error.status, "message": error.message}},
+        headers=error.headers,
+        keep_alive=keep_alive and not error.close,
+    )
+
+
+# -- Server-Sent Events framing ------------------------------------------ #
+
+
+def sse_headers(keep_alive: bool = False) -> bytes:
+    """The response head that opens an SSE stream (no Content-Length —
+    the stream ends when the connection does)."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: " + ("keep-alive" if keep_alive else "close") + "\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def sse_event(
+    data: Any, event: Optional[str] = None, event_id: Optional[int] = None
+) -> bytes:
+    """Frame one SSE event.  ``data`` is JSON-encoded (sorted keys);
+    only events with an ``event_id`` advance a client's
+    ``Last-Event-ID`` — id-less events are synthesized per-connection
+    (snapshots, status transitions) and must never be replayed."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    encoded = json.dumps(data, sort_keys=True)
+    for chunk in encoded.split("\n"):  # JSON never embeds raw newlines,
+        lines.append(f"data: {chunk}")  # but the framing stays general
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def sse_comment(text: str = "keepalive") -> bytes:
+    """An SSE comment line — the stream's heartbeat; clients ignore it,
+    proxies and dead-peer detection see live bytes."""
+    return f": {text}\n\n".encode("utf-8")

@@ -52,7 +52,11 @@ _EXPORTS = {
     "default_store": "repro.store.cache",
     "resolve_store": "repro.store.cache",
     "fetch_or_compute": "repro.store.cache",
+    "fetch_or_compute_bytes": "repro.store.cache",
     "STORE_ENV": "repro.store.cache",
+    # events
+    "JobEventLog": "repro.store.events",
+    "MAX_EVENTS_PER_JOB": "repro.store.events",
     # scheduler
     "JobQueue": "repro.store.scheduler",
     "JobRecord": "repro.store.scheduler",
@@ -77,6 +81,7 @@ _EXPORTS = {
     "table_document": "repro.store.jobs",
     "noop_document": "repro.store.jobs",
     "expected_result_key": "repro.store.jobs",
+    "store_status_payload": "repro.store.jobs",
     "JOB_KINDS": "repro.store.jobs",
 }
 

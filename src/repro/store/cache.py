@@ -94,8 +94,9 @@ class ResultStore:
 
     # -- the map -------------------------------------------------------- #
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The payload stored under ``key``, or ``None``.
+    def _read_entry(self, key: str) -> Optional[Tuple[bytes, Dict[str, Any]]]:
+        """The shared read path of :meth:`get` and :meth:`get_bytes`:
+        raw entry bytes plus the digest-verified payload, or ``None``.
 
         A corrupt entry — unreadable, undecodable, mis-keyed, or failing
         its digest — is quarantined (deleted) and reported as a miss, so
@@ -103,12 +104,18 @@ class ResultStore:
         """
         path = self.entry_path(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
+            with open(path, "rb") as fh:
+                raw = fh.read()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        except OSError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
             self._quarantine(path)
             self.misses += 1
             return None
@@ -118,7 +125,26 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
-        return payload
+        return raw, payload
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or ``None`` (corrupt entries
+        quarantine and read as misses — see :meth:`_read_entry`)."""
+        entry = self._read_entry(key)
+        return None if entry is None else entry[1]
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The *raw entry bytes* stored under ``key``, or ``None``.
+
+        The zero-re-encode read path: the bytes returned are exactly the
+        deterministic file contents :meth:`put` wrote (envelope included),
+        digest-verified on the way out — what the experiment service
+        serves for ``GET /v1/results/{key}`` so warm traffic never pays a
+        JSON round-trip.  Corruption quarantines and reads as a miss,
+        exactly like :meth:`get` (the two share :meth:`_read_entry`).
+        """
+        entry = self._read_entry(key)
+        return None if entry is None else entry[0]
 
     def put(self, key: str, payload: Dict[str, Any], kind: str = "",
             params: Optional[Dict[str, Any]] = None) -> None:
@@ -326,3 +352,30 @@ def fetch_or_compute(
     value = compute()
     store.put(key, encode(value), kind=kind, params=params)
     return value
+
+
+def fetch_or_compute_bytes(
+    store: ResultStore,
+    kind: str,
+    params: Dict[str, Any],
+    compute: Callable[[], Any],
+    encode: Callable[[Any], Dict[str, Any]],
+) -> bytes:
+    """:func:`fetch_or_compute` for callers that only need *bytes*.
+
+    A warm hit is one digest-checked file read (:meth:`ResultStore.get_bytes`)
+    — no JSON decode of the payload, no re-encode.  A miss computes,
+    persists, and returns the exact bytes now on disk, so the caller's
+    view is always byte-identical to what every later hit will serve.
+    Unlike :func:`fetch_or_compute` this requires a store: entry bytes
+    only exist on disk.
+    """
+    key = result_key(kind, params)
+    raw = store.get_bytes(key)
+    if raw is not None:
+        return raw
+    store.put(key, encode(compute()), kind=kind, params=params)
+    raw = store.get_bytes(key)
+    if raw is None:  # pragma: no cover - put/read race with a deleter
+        raise RuntimeError(f"store entry {key} vanished immediately after put")
+    return raw

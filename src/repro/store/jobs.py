@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.core.engine import ENGINE_VERSION
 from repro.store.cache import ResultStore, canonical_params, result_key
+from repro.store.events import JobEventLog
 from repro.store.scheduler import JobQueue, JobRecord
 from repro.store.shard import MANIFEST_NAME, ShardedJobQueue, ShardLayoutError
 
@@ -79,6 +80,44 @@ def document_key(kind: str, params: Dict[str, Any]) -> str:
     return result_key(f"{kind}-doc", params)
 
 
+def store_status_payload(
+    queue: Union[JobQueue, ShardedJobQueue], store: ResultStore
+) -> Dict[str, Any]:
+    """The machine-readable status of one scheduler root — queue counts,
+    claim-path counters, cache stats, and (for sharded queues) the
+    per-shard breakdown.  ``python -m repro store status --json`` and the
+    service's ``GET /v1/store/stats`` both emit exactly this shape, so
+    shell scripts and HTTP clients parse one schema."""
+    payload: Dict[str, Any] = {
+        "engine_version": ENGINE_VERSION,
+        "queue": queue.counts(),
+        "scheduler": queue.stats(),
+        "store": store.stats(),
+    }
+    if hasattr(queue, "shard_stats"):
+        payload["shards"] = queue.shard_stats()
+    return payload
+
+
+def _unit_progress(
+    queue: JobQueue,
+    log: JobEventLog,
+    record: JobRecord,
+    done: int,
+    total: int,
+) -> None:
+    """The per-unit bookkeeping every multi-unit runner shares: refresh
+    the lease, persist progress on the job record, and append a
+    ``progress`` event to the job's durable event log (the SSE feed)."""
+    queue.heartbeat(record.id)
+    queue.update_progress(record.id, {"units_done": done, "units_total": total})
+    log.append(
+        record.id,
+        "progress",
+        {"kind": record.kind, "units_done": done, "units_total": total},
+    )
+
+
 def table_document(
     kind: str, n: int, seed: int, cells: List[Dict[str, Any]]
 ) -> Dict[str, Any]:
@@ -112,6 +151,7 @@ def _run_table_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> st
     quotient = record.params.get("quotient")
     vector = record.params.get("vector")
     specs = table_specs(dynamic, n, seed)
+    log = JobEventLog(store.root)
     payloads: List[Dict[str, Any]] = []
     for done, (dyn, model, knowledge, cell_n, cell_seed) in enumerate(specs, start=1):
         result = compute_cell(
@@ -119,8 +159,7 @@ def _run_table_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> st
             vector=vector,
         )
         payloads.append(cell_to_payload(result))
-        queue.heartbeat(record.id)
-        queue.update_progress(record.id, {"units_done": done, "units_total": len(specs)})
+        _unit_progress(queue, log, record, done, len(specs))
     params = {"n": n, "seed": seed}
     doc = table_document(record.kind, n, seed, payloads)
     key = document_key(record.kind, params)
@@ -147,6 +186,7 @@ def _run_certificate_job(queue: JobQueue, store: ResultStore, record: JobRecord)
     params = {"n": n, "seed": seed}
     key = document_key("certificate", params)
     store.put(key, doc, kind="certificate-doc", params=params)
+    _unit_progress(queue, JobEventLog(store.root), record, 1, 1)
     return key
 
 
@@ -154,12 +194,12 @@ def _run_sweep_job(queue: JobQueue, store: ResultStore, record: JobRecord) -> st
     from repro.analysis.rates import check_proof_invariants, proof_check_to_payload
 
     specs = [tuple(int(x) for x in s) for s in record.params.get("specs", [])]
+    log = JobEventLog(store.root)
     payloads: List[Dict[str, Any]] = []
     for done, (n, d, seed, rounds) in enumerate(specs, start=1):
         check = check_proof_invariants(n, d, seed, rounds, store=store)
         payloads.append(proof_check_to_payload(check))
-        queue.heartbeat(record.id)
-        queue.update_progress(record.id, {"units_done": done, "units_total": len(specs)})
+        _unit_progress(queue, log, record, done, len(specs))
     doc = {
         "kind": "sweep",
         "engine_version": ENGINE_VERSION,
@@ -197,13 +237,29 @@ def _run_scenario_job(queue: JobQueue, store: ResultStore, record: JobRecord) ->
             scenario, engine=dataclasses.replace(scenario.engine, **overrides)
         )
 
+    log = JobEventLog(store.root)
+
     def progress(done: int, total: int) -> None:
-        queue.heartbeat(record.id)
-        queue.update_progress(record.id, {"units_done": done, "units_total": total})
+        _unit_progress(queue, log, record, done, total)
+
+    # Round-level tracer metric snapshots are opt-in (submit with
+    # "trace": true beside the config): each *computed* grid unit streams
+    # its per-round metrics into the event log — store-served units have
+    # no rounds to trace, and the document is byte-identical either way
+    # (the PR-3 no-interference contract).  The trace flag deliberately
+    # stays out of the scenario's identity, so traced and untraced
+    # submissions share one document key.
+    on_trace = None
+    if record.params.get("trace"):
+
+        def on_trace(unit: Dict[str, Any], snapshots: List[Dict[str, Any]]) -> None:
+            for snapshot in snapshots:
+                if log.append(record.id, "trace", {**unit, **snapshot}) is None:
+                    return  # per-job event cap reached: drop the tail
 
     # A progress callback forces the sequential path, so the lease stays
     # heartbeaten between units — same discipline as the table jobs.
-    doc = run_scenario(scenario, store=store, progress=progress)
+    doc = run_scenario(scenario, store=store, progress=progress, on_trace=on_trace)
     # The document key binds the scenario's identity (engine flags
     # excluded), so accelerated and direct submissions land on one entry.
     params = {"config": scenario.identity()}

@@ -151,6 +151,7 @@ class Orchestrator:
         self._inflight_ids: Dict[str, JobRecord] = {}
         self._inflight_keys: Dict[str, str] = {}  # result_key -> job id
         self._waiters: Dict[str, List[JobRecord]] = {}
+        self._dispatch_tasks: "set" = set()
         self._wake = asyncio.Event()
         self.stats: Dict[str, int] = {
             "claimed": 0,
@@ -219,7 +220,9 @@ class Orchestrator:
         if key is not None:
             self._inflight_keys[key] = record.id
         self._inflight_ids[record.id] = record
-        asyncio.ensure_future(self._dispatch(record, key))
+        task = asyncio.ensure_future(self._dispatch(record, key))
+        self._dispatch_tasks.add(task)
+        task.add_done_callback(self._dispatch_tasks.discard)
 
     async def _dispatch(self, record: JobRecord, key: Optional[str]) -> None:
         loop = asyncio.get_running_loop()
@@ -330,12 +333,10 @@ class Orchestrator:
         finally:
             heartbeat_task.cancel()
             # Let in-flight dispatch tasks finish recording outcomes.
-            pending = [
-                t
-                for t in asyncio.all_tasks(loop)
-                if t is not asyncio.current_task() and not t.done()
-                and t is not heartbeat_task
-            ]
+            # Only *our* tasks: gathering asyncio.all_tasks() here
+            # deadlocks when run() is embedded in a larger application
+            # (the host task awaiting our cancellation is in that set).
+            pending = [t for t in list(self._dispatch_tasks) if not t.done()]
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
             for pool in self._pools:

@@ -320,6 +320,24 @@ class JobQueue:
         except OSError:
             pass
 
+    def lease_info(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The public read of a job's lease: the ``{"owner", "heartbeat"}``
+        record of whoever currently holds it, or ``None`` when the job is
+        not leased (queued, finished, or between claims).  The experiment
+        service's status endpoint reads liveness through here instead of
+        poking at lease files."""
+        return self._lease_info(job_id)
+
+    def heartbeat_age(self, job_id: str) -> Optional[float]:
+        """Seconds since the lease holder last heartbeat, or ``None``
+        when the job is not leased.  An age beyond ``lease_ttl`` means
+        the holder is presumed dead and the next claimant will take the
+        job over."""
+        info = self.lease_info(job_id)
+        if info is None:
+            return None
+        return max(0.0, time.time() - float(info.get("heartbeat", 0.0)))
+
     def heartbeat(self, job_id: str) -> None:
         """Refresh the lease; raises :class:`LeaseBroken` if this worker
         no longer holds it (the job was handed to someone else)."""

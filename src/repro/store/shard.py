@@ -206,6 +206,12 @@ class ShardedJobQueue:
     def heartbeat(self, job_id: str) -> None:
         self.shard_of(job_id).heartbeat(job_id)
 
+    def lease_info(self, job_id: str) -> Optional[Dict[str, Any]]:
+        return self.shard_of(job_id).lease_info(job_id)
+
+    def heartbeat_age(self, job_id: str) -> Optional[float]:
+        return self.shard_of(job_id).heartbeat_age(job_id)
+
     def update_progress(self, job_id: str, progress: Dict[str, Any]) -> None:
         self.shard_of(job_id).update_progress(job_id, progress)
 

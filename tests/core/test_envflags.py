@@ -219,3 +219,62 @@ class TestConsumers:
         assert default_store() is None
         monkeypatch.setenv(STORE_ENV, "   ")
         assert default_store() is None
+
+
+class TestEnvInt:
+    """``env_int`` — the service listener's knobs ride through here."""
+
+    @pytest.mark.parametrize(
+        "raw,expected", [("8080", 8080), ("0", 0), (" 443 ", 443), ("-3", -3)]
+    )
+    def test_valid_spellings(self, monkeypatch, raw, expected):
+        from repro.envflags import env_int
+
+        monkeypatch.setenv("REPRO_TEST_INT", raw)
+        assert env_int("REPRO_TEST_INT", 7) == expected
+
+    @pytest.mark.parametrize("raw", ["", "  ", "abc", "8.5", "1e3", "0x10"])
+    def test_invalid_spellings_keep_default(self, monkeypatch, raw):
+        from repro.envflags import env_int
+
+        monkeypatch.setenv("REPRO_TEST_INT", raw)
+        assert env_int("REPRO_TEST_INT", 7) == 7
+
+    def test_unset_keeps_default(self, monkeypatch):
+        from repro.envflags import env_int
+
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        assert env_int("REPRO_TEST_INT", 9) == 9
+
+    def test_out_of_range_keeps_default(self, monkeypatch):
+        from repro.envflags import env_int
+
+        monkeypatch.setenv("REPRO_TEST_INT", "70000")
+        assert env_int("REPRO_TEST_INT", 8765, minimum=0, maximum=65535) == 8765
+        monkeypatch.setenv("REPRO_TEST_INT", "-1")
+        assert env_int("REPRO_TEST_INT", 8765, minimum=0, maximum=65535) == 8765
+
+    def test_port_zero_is_in_range(self, monkeypatch):
+        """Port 0 — bind ephemerally — is a legitimate configuration,
+        not an out-of-range value."""
+        from repro.envflags import env_int
+
+        monkeypatch.setenv("REPRO_TEST_INT", "0")
+        assert env_int("REPRO_TEST_INT", 8765, minimum=0, maximum=65535) == 0
+
+    def test_service_knobs_route_through_env_int(self, monkeypatch):
+        from repro.service.app import (
+            SERVICE_BACKLOG_ENV,
+            SERVICE_PORT_ENV,
+            service_backlog,
+            service_port,
+        )
+
+        monkeypatch.setenv(SERVICE_PORT_ENV, "0")
+        assert service_port() == 0
+        monkeypatch.setenv(SERVICE_PORT_ENV, "not-a-port")
+        assert service_port() == 8765
+        monkeypatch.setenv(SERVICE_BACKLOG_ENV, "256")
+        assert service_backlog() == 256
+        monkeypatch.setenv(SERVICE_BACKLOG_ENV, "0")  # below minimum 1
+        assert service_backlog() == 128

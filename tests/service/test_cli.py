@@ -1,0 +1,57 @@
+"""The service-facing CLI surfaces: ``store status --json`` and
+``store result --raw`` (the shell-side twins of ``GET /v1/store/stats``
+and ``GET /v1/results/{key}``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+from repro.store.jobs import open_queue, open_store
+
+
+class TestStoreStatusJson:
+    def test_matches_the_service_stats_schema(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        assert main(["store", "--root", str(root), "status", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"engine_version", "queue", "scheduler", "store"}
+        assert payload["queue"] == {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+        }
+
+    def test_sharded_roots_report_shards(self, tmp_path, capsys):
+        root = tmp_path / "root"
+        assert (
+            main(["store", "--root", str(root), "--shards", "4", "status", "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "shards" in payload
+        assert len(payload["shards"]) == 4
+
+
+class TestStoreResultRaw:
+    def test_raw_dumps_the_entry_bytes(self, tmp_path, capfdbinary):
+        root = tmp_path / "root"
+        assert (
+            main(["store", "--root", str(root), "submit", "noop", "--param", "i=1"])
+            == 0
+        )
+        assert main(["store", "--root", str(root), "run"]) == 0
+        (record,) = open_queue(root).jobs()
+        assert record.status == "done" and record.result_key
+        capfdbinary.readouterr()  # drop the submit/run chatter
+        assert (
+            main(["store", "--root", str(root), "result", record.id, "--raw"]) == 0
+        )
+        raw = capfdbinary.readouterr().out
+        store = open_store(root)
+        with open(store.entry_path(record.result_key), "rb") as fh:
+            assert raw == fh.read()
+        # --raw is the HTTP fast path's twin: digest-checked entry bytes,
+        # decodable, payload under "payload".
+        assert json.loads(raw.decode("utf-8"))["key"] == record.result_key

@@ -1,0 +1,221 @@
+"""The HTTP/1.1 layer, byte by byte.
+
+The parser's contract is segment-agnosticism: however the kernel tears
+the stream into reads — one byte at a time, several pipelined requests
+in one segment — the same requests come out.  These tests drive
+:class:`repro.service.http.RequestReader` through a fake stream whose
+segmentation the test controls exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    DEFAULT_MAX_HEAD,
+    HttpError,
+    RequestReader,
+    error_response,
+    json_response,
+    response_bytes,
+    sse_comment,
+    sse_event,
+    sse_headers,
+)
+
+
+class SegmentedStream:
+    """A reader whose ``read`` returns exactly the segments it was given
+    — the test's handle on TCP fragmentation."""
+
+    def __init__(self, *segments: bytes):
+        self._segments = list(segments)
+
+    async def read(self, n: int) -> bytes:
+        if not self._segments:
+            return b""
+        return self._segments.pop(0)
+
+
+def read_all(*segments: bytes, **kwargs):
+    """Parse every request out of the given segmentation."""
+
+    async def drive():
+        reader = RequestReader(SegmentedStream(*segments), **kwargs)
+        requests = []
+        while True:
+            request = await reader.read_request()
+            if request is None:
+                return requests
+            requests.append(request)
+
+    return asyncio.run(drive())
+
+
+def read_one(*segments: bytes, **kwargs):
+    (request,) = read_all(*segments, **kwargs)
+    return request
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        request = read_one(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.version == "HTTP/1.1"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+        assert request.keep_alive is True
+
+    def test_one_byte_segments(self):
+        """The head and body may arrive one TCP byte at a time."""
+        wire = b"POST /v1/runs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        request = read_one(*[wire[i : i + 1] for i in range(len(wire))])
+        assert request.method == "POST"
+        assert request.body == b"abcd"
+
+    def test_segment_split_inside_separator(self):
+        """The blank-line separator itself may straddle two segments."""
+        request = read_one(b"GET / HTTP/1.1\r\nHost: x\r\n", b"\r\n")
+        assert request.path == "/"
+
+    def test_pipelined_requests_in_one_segment(self):
+        wire = (
+            b"GET /a HTTP/1.1\r\n\r\n"
+            b"POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+            b"GET /c HTTP/1.1\r\n\r\n"
+        )
+        requests = read_all(wire)
+        assert [r.path for r in requests] == ["/a", "/b", "/c"]
+        assert requests[1].body == b"hi"
+
+    def test_body_split_across_segments(self):
+        requests = read_all(
+            b"POST /b HTTP/1.1\r\nContent-Length: 6\r\n\r\nab",
+            b"cd",
+            b"ef",
+        )
+        assert requests[0].body == b"abcdef"
+
+    def test_query_and_percent_decoding(self):
+        request = read_one(b"GET /v1/runs?trace=1&x=a%20b HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/runs"
+        assert request.query == {"trace": "1", "x": "a b"}
+
+    def test_clean_eof_between_requests_is_none(self):
+        assert read_all(b"GET / HTTP/1.1\r\n\r\n") != []
+        assert read_all() == []
+
+    def test_http10_defaults_to_close(self):
+        request = read_one(b"GET / HTTP/1.0\r\n\r\n")
+        assert request.keep_alive is False
+        request = read_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert request.keep_alive is True
+
+    def test_http11_connection_close(self):
+        request = read_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_json_body_helper(self):
+        request = read_one(
+            b"POST / HTTP/1.1\r\nContent-Length: 13\r\n\r\n" b'{"kind": "x"}'
+        )
+        assert request.json() == {"kind": "x"}
+        bad = read_one(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        with pytest.raises(HttpError) as excinfo:
+            bad.json()
+        assert excinfo.value.status == 400
+
+
+class TestRequestRejection:
+    def expect(self, status: int, *segments: bytes, **kwargs) -> HttpError:
+        with pytest.raises(HttpError) as excinfo:
+            read_all(*segments, **kwargs)
+        assert excinfo.value.status == status
+        return excinfo.value
+
+    def test_oversized_head_is_431(self):
+        huge = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * DEFAULT_MAX_HEAD + b"\r\n\r\n"
+        error = self.expect(431, huge)
+        assert error.close is True
+
+    def test_oversized_head_in_small_segments_is_431(self):
+        huge = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 2048
+        self.expect(431, *[huge[i : i + 97] for i in range(0, len(huge), 97)],
+                    max_head=1024)
+
+    def test_eof_mid_head_is_400(self):
+        self.expect(400, b"GET / HTTP/1.1\r\nHost")
+
+    def test_eof_mid_body_is_400(self):
+        self.expect(400, b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_malformed_request_line_is_400(self):
+        self.expect(400, b"GET/HTTP/1.1\r\n\r\n")
+        self.expect(400, b"GET / HTTP/1.1 extra\r\n\r\n")
+
+    def test_unsupported_version_is_400(self):
+        self.expect(400, b"GET / HTTP/2\r\n\r\n")
+
+    def test_non_origin_target_is_400(self):
+        self.expect(400, b"GET http://evil/ HTTP/1.1\r\n\r\n")
+
+    def test_malformed_header_is_400(self):
+        self.expect(400, b"GET / HTTP/1.1\r\nNo Colon Here\r\n\r\n")
+        self.expect(400, b"GET / HTTP/1.1\r\n : empty-name\r\n\r\n")
+
+    def test_bad_content_length_is_400(self):
+        self.expect(400, b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        self.expect(400, b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+    def test_oversized_body_is_413(self):
+        self.expect(
+            413,
+            b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+            max_body=50,
+        )
+
+    def test_chunked_transfer_is_501(self):
+        self.expect(
+            501, b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+
+
+class TestResponseFraming:
+    def test_response_bytes_framing(self):
+        wire = response_bytes(200, b"hi", headers={"X-Y": "z"})
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert body == b"hi"
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "X-Y: z" in lines
+        assert "Content-Length: 2" in lines
+        assert "Connection: keep-alive" in lines
+
+    def test_close_connection_header(self):
+        assert b"Connection: close" in response_bytes(200, b"", keep_alive=False)
+
+    def test_json_response_is_sorted_and_typed(self):
+        wire = json_response(200, {"b": 1, "a": 2})
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"Content-Type: application/json" in head
+        assert body == b'{\n  "a": 2,\n  "b": 1\n}\n'
+
+    def test_error_response_body_shape(self):
+        wire = error_response(HttpError(404, "no such thing"))
+        _, _, body = wire.partition(b"\r\n\r\n")
+        assert json.loads(body) == {
+            "error": {"status": 404, "message": "no such thing"}
+        }
+
+    def test_sse_framing(self):
+        assert sse_headers().startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: text/event-stream" in sse_headers()
+        framed = sse_event({"x": 1}, event="progress", event_id=7)
+        assert framed == b'id: 7\nevent: progress\ndata: {"x": 1}\n\n'
+        unnumbered = sse_event({"x": 1}, event="snapshot")
+        assert not unnumbered.startswith(b"id:")
+        assert sse_comment("hi") == b": hi\n\n"

@@ -1,0 +1,152 @@
+"""The SSE live feed: ordering, resume, and disconnect hygiene.
+
+These tests drive the stream deterministically by playing the runner's
+role themselves: events are appended straight into the job's
+:class:`~repro.store.events.JobEventLog` and the job record is moved
+through its lifecycle via the queue — no engine, no timing guesses.
+"""
+
+from __future__ import annotations
+
+import json
+import socket as socketlib
+import time
+
+import pytest
+
+from repro.store.events import JobEventLog
+from repro.store.jobs import open_queue
+
+
+def submit_noop(thread, i=1):
+    with thread.client() as client:
+        record = client.submit({"kind": "noop", "params": {"i": i}})
+    return record["id"]
+
+
+class TestStreaming:
+    def test_full_lifecycle_stream(self, service_thread):
+        root = service_thread.service.root
+        job_id = submit_noop(service_thread)
+        log = JobEventLog(root)
+        for done in (1, 2, 3):
+            log.append(job_id, "progress", {"units_done": done, "units_total": 3})
+
+        client = service_thread.client()
+        feed = client.events(job_id)
+        first = next(feed)
+        assert first["event"] == "snapshot"
+        assert first["id"] is None  # synthesized events carry no id
+        assert first["data"]["id"] == job_id
+
+        received = [next(feed) for _ in range(3)]
+        assert [e["event"] for e in received] == ["progress"] * 3
+        assert [e["id"] for e in received] == [1, 2, 3]
+        assert [e["data"]["units_done"] for e in received] == [1, 2, 3]
+
+        # Play the worker: claim, log one more unit, complete.
+        queue = open_queue(root)
+        record = queue.claim()
+        assert record is not None and record.id == job_id
+        log.append(job_id, "progress", {"units_done": 4, "units_total": 4})
+        queue.complete(job_id, result_key=None)
+
+        tail = list(feed)
+        kinds = [e["event"] for e in tail]
+        # The fourth logged event must arrive (possibly after a status
+        # transition), and the stream must finish with a terminal end.
+        assert kinds[-1] == "end"
+        assert tail[-1]["id"] is None
+        assert tail[-1]["data"]["status"] == "done"
+        progress = [e for e in tail if e["event"] == "progress"]
+        assert [e["id"] for e in progress] == [4]
+        client.close()
+
+    def test_resume_replays_no_duplicates(self, service_thread):
+        root = service_thread.service.root
+        job_id = submit_noop(service_thread, i=2)
+        log = JobEventLog(root)
+        for done in range(1, 6):
+            log.append(job_id, "progress", {"units_done": done, "units_total": 5})
+
+        client = service_thread.client()
+        feed = client.events(job_id)
+        assert next(feed)["event"] == "snapshot"
+        seen = [next(feed) for _ in range(3)]
+        assert [e["id"] for e in seen] == [1, 2, 3]
+        feed.close()  # client goes away mid-stream
+
+        resumed = client.events(job_id, last_event_id=3)
+        assert next(resumed)["event"] == "snapshot"  # no id, never counted
+        rest = [next(resumed) for _ in range(2)]
+        assert [e["id"] for e in rest] == [4, 5]  # exactly the tail, once
+        resumed.close()
+        client.close()
+
+    def test_resume_past_end_sees_no_logged_events(self, service_thread):
+        root = service_thread.service.root
+        job_id = submit_noop(service_thread, i=3)
+        log = JobEventLog(root)
+        log.append(job_id, "progress", {"units_done": 1, "units_total": 1})
+        queue = open_queue(root)
+        record = queue.claim()
+        queue.complete(record.id, result_key=None)
+
+        client = service_thread.client()
+        events = list(client.events(job_id, last_event_id=1))
+        client.close()
+        assert [e["event"] for e in events if e["id"] is not None] == []
+        assert events[-1]["event"] == "end"
+
+    def test_unknown_job_is_404(self, service_thread):
+        from repro.service.client import ServiceError
+
+        client = service_thread.client()
+        with pytest.raises(ServiceError) as excinfo:
+            next(client.events("missing-job"))
+        client.close()
+        assert excinfo.value.status == 404
+
+
+class TestDisconnectHygiene:
+    def test_disconnect_mid_stream_leaves_no_pending_tasks(self, service_thread):
+        job_id = submit_noop(service_thread, i=4)
+        sock = socketlib.create_connection(
+            (service_thread.host, service_thread.port), timeout=10
+        )
+        sock.sendall(
+            f"GET /v1/runs/{job_id}/events HTTP/1.1\r\n\r\n".encode("latin-1")
+        )
+        # Wait for the stream to be live (the snapshot event arrives),
+        # so the handler is genuinely mid-stream when we vanish.
+        received = b""
+        while b"event: snapshot" not in received:
+            chunk = sock.recv(65536)
+            assert chunk, "stream closed before snapshot"
+            received += chunk
+        assert service_thread.pending_tasks(), "handler should be streaming"
+        sock.close()
+        # The handler coroutine must unwind promptly — no orphan tasks
+        # keep polling a feed nobody is reading.
+        assert service_thread.wait_idle(timeout=10), (
+            f"pending tasks after disconnect: {service_thread.pending_tasks()}"
+        )
+
+    def test_stream_emits_keepalive_comments_while_idle(self, service_thread, tmp_path):
+        service_thread.service.keepalive_interval = 0.1
+        job_id = submit_noop(service_thread, i=5)
+        sock = socketlib.create_connection(
+            (service_thread.host, service_thread.port), timeout=10
+        )
+        sock.sendall(
+            f"GET /v1/runs/{job_id}/events HTTP/1.1\r\n\r\n".encode("latin-1")
+        )
+        received = b""
+        deadline = time.monotonic() + 10
+        while b": keepalive" not in received and time.monotonic() < deadline:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            received += chunk
+        sock.close()
+        assert b": keepalive" in received

@@ -1,0 +1,92 @@
+"""The per-job event log behind the service's SSE feed.
+
+The contract under test: ids are dense and 1-based, a fresh writer
+resumes numbering from what is already on disk, reads after a cursor
+replay nothing twice, torn lines are invisible, and the per-job cap
+drops the tail instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.store.events as events_module
+from repro.store.atomic import append_line
+from repro.store.events import MAX_EVENTS_PER_JOB, JobEventLog
+
+
+class TestAppendAndRead:
+    def test_ids_are_dense_from_one(self, tmp_path):
+        log = JobEventLog(tmp_path)
+        assert log.append("job", "progress", {"u": 1}) == 1
+        assert log.append("job", "progress", {"u": 2}) == 2
+        assert log.append("job", "trace", {"round": 0}) == 3
+        events = log.read("job")
+        assert [e["id"] for e in events] == [1, 2, 3]
+        assert [e["event"] for e in events] == ["progress", "progress", "trace"]
+        assert events[0]["data"] == {"u": 1}
+
+    def test_jobs_are_independent(self, tmp_path):
+        log = JobEventLog(tmp_path)
+        assert log.append("a", "progress", {}) == 1
+        assert log.append("b", "progress", {}) == 1
+        assert log.last_id("a") == 1
+        assert log.read("missing") == []
+        assert log.last_id("missing") == 0
+
+    def test_read_after_cursor_replays_nothing(self, tmp_path):
+        log = JobEventLog(tmp_path)
+        for i in range(1, 6):
+            log.append("job", "progress", {"u": i})
+        tail = log.read("job", after=3)
+        assert [e["id"] for e in tail] == [4, 5]
+        assert log.read("job", after=5) == []
+
+    def test_fresh_writer_resumes_numbering_from_disk(self, tmp_path):
+        first = JobEventLog(tmp_path)
+        first.append("job", "progress", {"attempt": 1})
+        first.append("job", "progress", {"attempt": 1})
+        # A retried job's runner is a brand-new process with a brand-new
+        # log instance; its events must extend the feed, not restart it.
+        second = JobEventLog(tmp_path)
+        assert second.append("job", "progress", {"attempt": 2}) == 3
+        assert [e["id"] for e in second.read("job")] == [1, 2, 3]
+
+    def test_torn_trailing_line_is_skipped_then_healed(self, tmp_path):
+        log = JobEventLog(tmp_path)
+        log.append("job", "progress", {"u": 1})
+        with open(log.path("job"), "ab") as fh:
+            fh.write(b'{"id": 2, "event": "progress", "da')  # torn write
+        assert [e["id"] for e in log.read("job")] == [1]
+        # The torn line has no newline, so the on-disk count still says
+        # one event — a (hypothetical) new writer would assign id 2.
+        assert JobEventLog(tmp_path).append("job", "x", {}) == 2
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        import os
+
+        log = JobEventLog(tmp_path)
+        os.makedirs(log.events_dir, exist_ok=True)
+        append_line(log.path("job"), "not json at all")
+        append_line(log.path("job"), json.dumps({"no": "id"}))
+        append_line(log.path("job"), json.dumps({"id": "seven"}))
+        assert log.read("job") == []
+
+
+class TestCap:
+    def test_cap_drops_the_tail(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(events_module, "MAX_EVENTS_PER_JOB", 3)
+        log = JobEventLog(tmp_path)
+        assert [log.append("job", "e", {"i": i}) for i in range(5)] == [
+            1,
+            2,
+            3,
+            None,
+            None,
+        ]
+        assert [e["id"] for e in log.read("job")] == [1, 2, 3]
+
+    def test_default_cap_is_generous(self):
+        assert MAX_EVENTS_PER_JOB >= 10_000
